@@ -1,0 +1,70 @@
+// Ablation A1 — intra-bunch SSPs vs replicated inter-bunch SSPs (§3.2).
+//
+// "We decided to use intra-bunch SSPs, instead of replicating inter-bunch
+// SSPs, in order to reduce the number of scion messages and the amount of
+// memory consumed for GC purposes."  Sweep the number of inter-bunch
+// references held by the transferred object; series: scion-messages per
+// transfer and total SSP table entries after the transfer, per policy.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace bmx {
+namespace {
+
+void RunTransfer(benchmark::State& state, TransferPolicy policy) {
+  size_t stubs = static_cast<size_t>(state.range(0));
+  uint64_t scion_msgs = 0;
+  uint64_t table_entries = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    BenchRig rig(3);
+    for (NodeId n = 0; n < 3; ++n) {
+      rig.cluster.node(n).gc().set_transfer_policy(policy);
+    }
+    BunchId b = rig.cluster.CreateBunch(0);
+    BunchId other = rig.cluster.CreateBunch(2);  // targets live on node 2
+    Gaddr obj = rig.mutators[0]->Alloc(b, static_cast<uint32_t>(stubs));
+    for (size_t i = 0; i < stubs; ++i) {
+      Gaddr out = rig.mutators[2]->Alloc(other, 1);
+      rig.mutators[2]->AddRoot(out);
+      rig.mutators[0]->WriteRef(obj, i, out);  // remote target: scion-message
+    }
+    rig.cluster.Pump();
+    uint64_t msgs_before = rig.cluster.network().stats().For(MsgKind::kScionMessage).sent;
+    state.ResumeTiming();
+
+    bool ok = rig.mutators[1]->AcquireWrite(obj);
+    benchmark::DoNotOptimize(ok);
+    rig.cluster.Pump();
+
+    state.PauseTiming();
+    rig.mutators[1]->Release(obj);
+    scion_msgs += rig.cluster.network().stats().For(MsgKind::kScionMessage).sent - msgs_before;
+    for (NodeId n = 0; n < 3; ++n) {
+      auto tables = rig.cluster.node(n).gc().TablesOf(b);
+      table_entries += tables.inter_stubs.size() + tables.intra_stubs.size() +
+                       tables.intra_scions.size();
+      table_entries += rig.cluster.node(n).gc().TablesOf(other).inter_scions.size();
+    }
+    state.ResumeTiming();
+  }
+  double iters = static_cast<double>(state.iterations());
+  state.counters["scion_msgs_per_transfer"] = static_cast<double>(scion_msgs) / iters;
+  state.counters["ssp_table_entries"] = static_cast<double>(table_entries) / iters;
+  state.counters["inter_refs"] = static_cast<double>(stubs);
+}
+
+void A1_IntraSsp(benchmark::State& state) { RunTransfer(state, TransferPolicy::kIntraSsp); }
+BENCHMARK(A1_IntraSsp)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMicrosecond);
+
+void A1_ReplicateInterSsp(benchmark::State& state) {
+  RunTransfer(state, TransferPolicy::kReplicateInterSsp);
+}
+BENCHMARK(A1_ReplicateInterSsp)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace bmx
+
+BENCHMARK_MAIN();

@@ -1,0 +1,107 @@
+// Ablation A2 — configuration modes the paper discusses:
+//
+//   * scion-cleaner processing: immediate vs deferred-to-next-BGC (§6.1) —
+//     deferral batches work off the message path at the cost of reclamation
+//     latency (rounds until a remote drop is collected);
+//   * copy-set management: centralized at the owner (the §8 prototype
+//     simplification) vs distributed over granting readers (the §2.2
+//     design) — distribution moves grant load off the owner.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace bmx {
+namespace {
+
+void RunCleanerMode(benchmark::State& state, CleanerMode mode) {
+  uint64_t rounds_total = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    BenchRig rig(2);
+    rig.cluster.node(0).gc().set_cleaner_mode(mode);
+    rig.cluster.node(1).gc().set_cleaner_mode(mode);
+    BunchId b1 = rig.cluster.CreateBunch(0);
+    BunchId b2 = rig.cluster.CreateBunch(1);
+    Gaddr target = rig.mutators[1]->Alloc(b2, 1);
+    Gaddr src = rig.mutators[0]->Alloc(b1, 2);
+    rig.mutators[0]->AddRoot(src);
+    rig.mutators[0]->WriteRef(src, 0, target);
+    rig.cluster.Pump();
+    rig.mutators[0]->WriteRef(src, 0, kNullAddr);
+    state.ResumeTiming();
+
+    uint64_t rounds = 0;
+    while (rig.cluster.node(1).gc().stats().objects_reclaimed == 0 && rounds < 16) {
+      rounds++;
+      rig.cluster.node(0).gc().CollectBunch(b1);
+      rig.cluster.Pump();
+      rig.cluster.node(1).gc().CollectBunch(b2);
+      rig.cluster.Pump();
+    }
+
+    state.PauseTiming();
+    rounds_total += rounds;
+    state.ResumeTiming();
+  }
+  state.counters["rounds_to_reclaim"] =
+      static_cast<double>(rounds_total) / static_cast<double>(state.iterations());
+}
+
+void A2_CleanerImmediate(benchmark::State& state) {
+  RunCleanerMode(state, CleanerMode::kImmediate);
+}
+BENCHMARK(A2_CleanerImmediate)->Unit(benchmark::kMicrosecond);
+
+void A2_CleanerDeferred(benchmark::State& state) { RunCleanerMode(state, CleanerMode::kDeferred); }
+BENCHMARK(A2_CleanerDeferred)->Unit(benchmark::kMicrosecond);
+
+void RunCopySetMode(benchmark::State& state, CopySetMode mode) {
+  size_t readers = static_cast<size_t>(state.range(0));
+  uint64_t owner_grants = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    BenchRig rig(readers + 2, mode);
+    NodeId owner_node = static_cast<NodeId>(readers + 1);
+    BunchId bunch = rig.cluster.CreateBunch(0);
+    // Node 0 creates the object; ownership moves to the last node, so fresh
+    // readers' requests (routed to the segment creator, node 0) are served by
+    // a *reader* in distributed mode but must be forwarded to the owner in
+    // centralized mode.
+    Gaddr obj = rig.mutators[0]->Alloc(bunch, 2);
+    rig.mutators[0]->AddRoot(obj);
+    rig.mutators[owner_node]->AcquireWrite(obj);
+    rig.mutators[owner_node]->Release(obj);
+    rig.mutators[0]->AcquireRead(obj);  // creator becomes a reader again
+    rig.mutators[0]->Release(obj);
+    rig.cluster.node(owner_node).dsm().ResetStats();
+    state.ResumeTiming();
+
+    for (size_t r = 1; r <= readers; ++r) {
+      rig.mutators[r]->AcquireRead(obj);
+      rig.mutators[r]->Release(obj);
+    }
+
+    state.PauseTiming();
+    owner_grants += rig.cluster.node(owner_node).dsm().stats().grants_sent;
+    state.ResumeTiming();
+  }
+  state.counters["owner_grants"] =
+      static_cast<double>(owner_grants) / static_cast<double>(state.iterations());
+  state.counters["readers"] = static_cast<double>(readers);
+}
+
+void A2_CopySetCentralized(benchmark::State& state) {
+  RunCopySetMode(state, CopySetMode::kCentralized);
+}
+BENCHMARK(A2_CopySetCentralized)->Arg(2)->Arg(4)->Arg(7)->Unit(benchmark::kMicrosecond);
+
+void A2_CopySetDistributed(benchmark::State& state) {
+  RunCopySetMode(state, CopySetMode::kDistributed);
+}
+BENCHMARK(A2_CopySetDistributed)->Arg(2)->Arg(4)->Arg(7)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace bmx
+
+BENCHMARK_MAIN();

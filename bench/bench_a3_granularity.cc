@@ -1,0 +1,89 @@
+// Ablation A3 — impact of consistency granularity (the paper's §10 future
+// work: "evaluating the impact of the consistency granularity on our
+// approach").
+//
+// The object is BMX's unit of consistency AND of collection.  Sweep object
+// size at fixed total heap bytes; series: grant bytes per synchronization,
+// BGC time, and piggyback size — small objects mean more tokens and more
+// address updates, large objects mean coarser invalidation and bigger
+// grants.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace bmx {
+namespace {
+
+constexpr size_t kHeapSlots = 4096;  // total data slots, fixed across sizes
+
+void A3_BgcVsObjectSize(benchmark::State& state) {
+  uint32_t slots_per_object = static_cast<uint32_t>(state.range(0));
+  size_t count = kHeapSlots / slots_per_object;
+  for (auto _ : state) {
+    state.PauseTiming();
+    BenchRig rig(1);
+    BunchId bunch = rig.cluster.CreateBunch(0);
+    Mutator& m = *rig.mutators[0];
+    Gaddr head = kNullAddr;
+    for (size_t i = 0; i < count; ++i) {
+      Gaddr obj = m.Alloc(bunch, slots_per_object);
+      m.WriteRef(obj, 0, head);
+      head = obj;
+    }
+    m.AddRoot(head);
+    state.ResumeTiming();
+
+    rig.cluster.node(0).gc().CollectBunch(bunch);
+  }
+  state.counters["slots_per_object"] = static_cast<double>(slots_per_object);
+  state.counters["objects"] = static_cast<double>(count);
+}
+BENCHMARK(A3_BgcVsObjectSize)->Arg(2)->Arg(8)->Arg(32)->Arg(128)->Unit(benchmark::kMicrosecond);
+
+void A3_SyncCostVsObjectSize(benchmark::State& state) {
+  uint32_t slots_per_object = static_cast<uint32_t>(state.range(0));
+  size_t touched_slots = 256;  // the application's working set, in slots
+  size_t objects = touched_slots / slots_per_object;
+  uint64_t grant_bytes = 0;
+  uint64_t grants = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    BenchRig rig(2);
+    BunchId bunch = rig.cluster.CreateBunch(0);
+    Mutator& owner = *rig.mutators[0];
+    std::vector<Gaddr> objs;
+    for (size_t i = 0; i < objects; ++i) {
+      objs.push_back(owner.Alloc(bunch, slots_per_object));
+      owner.AddRoot(objs.back());
+    }
+    rig.cluster.network().ResetStats();
+    state.ResumeTiming();
+
+    // The replica faults the whole working set in.
+    for (Gaddr obj : objs) {
+      rig.mutators[1]->AcquireRead(obj);
+      rig.mutators[1]->Release(obj);
+    }
+
+    state.PauseTiming();
+    grant_bytes += rig.cluster.network().stats().For(MsgKind::kGrant).bytes;
+    grants += rig.cluster.network().stats().For(MsgKind::kGrant).sent;
+    state.ResumeTiming();
+  }
+  double iters = static_cast<double>(state.iterations());
+  state.counters["grants_per_workingset"] = static_cast<double>(grants) / iters;
+  state.counters["grant_bytes_per_workingset"] = static_cast<double>(grant_bytes) / iters;
+  state.counters["slots_per_object"] = static_cast<double>(slots_per_object);
+}
+BENCHMARK(A3_SyncCostVsObjectSize)
+    ->Arg(2)
+    ->Arg(8)
+    ->Arg(32)
+    ->Arg(128)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace bmx
+
+BENCHMARK_MAIN();

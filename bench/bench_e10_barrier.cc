@@ -1,0 +1,96 @@
+// E10 — write-barrier overhead micro-benchmark (§3.2, §8; the macro-based
+// barrier is the prototype's instrumentation cost, cf. Hosking et al. [10]).
+//
+// Series: raw slot store (no barrier), scalar store through the API, pointer
+// store within a bunch (barrier fires, finds nothing), pointer store across
+// bunches hitting the dedup check, and pointer comparison via SameObject.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace bmx {
+namespace {
+
+void E10_RawSlotStore(benchmark::State& state) {
+  BenchRig rig(1);
+  BunchId bunch = rig.cluster.CreateBunch(0);
+  Gaddr obj = rig.mutators[0]->Alloc(bunch, 2);
+  ReplicaStore& store = rig.cluster.node(0).store();
+  uint64_t v = 0;
+  for (auto _ : state) {
+    store.WriteSlot(obj, 1, v++);
+  }
+}
+BENCHMARK(E10_RawSlotStore);
+
+void E10_ScalarStore(benchmark::State& state) {
+  BenchRig rig(1);
+  BunchId bunch = rig.cluster.CreateBunch(0);
+  Mutator& m = *rig.mutators[0];
+  Gaddr obj = m.Alloc(bunch, 2);
+  uint64_t v = 0;
+  for (auto _ : state) {
+    m.WriteWord(obj, 1, v++);
+  }
+}
+BENCHMARK(E10_ScalarStore);
+
+void E10_IntraBunchRefStore(benchmark::State& state) {
+  BenchRig rig(1);
+  BunchId bunch = rig.cluster.CreateBunch(0);
+  Mutator& m = *rig.mutators[0];
+  Gaddr obj = m.Alloc(bunch, 2);
+  Gaddr target = m.Alloc(bunch, 1);
+  for (auto _ : state) {
+    m.WriteRef(obj, 0, target);
+  }
+}
+BENCHMARK(E10_IntraBunchRefStore);
+
+void E10_InterBunchRefStoreDedup(benchmark::State& state) {
+  BenchRig rig(1);
+  BunchId b1 = rig.cluster.CreateBunch(0);
+  BunchId b2 = rig.cluster.CreateBunch(0);
+  Mutator& m = *rig.mutators[0];
+  Gaddr obj = m.Alloc(b1, 2);
+  Gaddr target = m.Alloc(b2, 1);
+  m.WriteRef(obj, 0, target);  // SSP created once
+  for (auto _ : state) {
+    m.WriteRef(obj, 0, target);  // steady state: barrier + dedup hit
+  }
+  state.counters["stubs_total"] =
+      static_cast<double>(rig.cluster.node(0).gc().stats().inter_stubs_created);
+}
+BENCHMARK(E10_InterBunchRefStoreDedup);
+
+void E10_PointerComparison(benchmark::State& state) {
+  // The pointer-comparison macro of §8: equality through forwarders.
+  BenchRig rig(1);
+  BunchId bunch = rig.cluster.CreateBunch(0);
+  Mutator& m = *rig.mutators[0];
+  Gaddr obj = m.Alloc(bunch, 2);
+  m.AddRoot(obj);
+  rig.cluster.node(0).gc().CollectBunch(bunch);  // obj now has a forwarder
+  Gaddr moved = rig.cluster.node(0).dsm().ResolveAddr(obj);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.SameObject(obj, moved));
+  }
+}
+BENCHMARK(E10_PointerComparison);
+
+void E10_RawPointerEquality(benchmark::State& state) {
+  BenchRig rig(1);
+  BunchId bunch = rig.cluster.CreateBunch(0);
+  Gaddr obj = rig.mutators[0]->Alloc(bunch, 2);
+  Gaddr other = rig.mutators[0]->Alloc(bunch, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(obj == other);
+  }
+}
+BENCHMARK(E10_RawPointerEquality);
+
+}  // namespace
+}  // namespace bmx
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+// E2 — BGC cost vs replication degree (§8's stated performance goal: "the
+// cost of the BGC should be the same whether the bunch is replicated or
+// not").
+//
+// A bunch of K objects is replicated on 1..8 nodes; the owner's BGC is
+// timed.  Counters report the GC messages sent *during* the collection —
+// zero for BMX regardless of replication — and, for contrast, the strong-
+// consistency collector's token and message bill, which grows with the
+// replica count.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/baselines/strong_copy.h"
+
+namespace bmx {
+namespace {
+
+constexpr size_t kObjects = 200;
+
+void E2_BmxBgc(benchmark::State& state) {
+  size_t replicas = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    BenchRig rig(8);
+    BunchId bunch = rig.cluster.CreateBunch(0);
+    rig.BuildReplicatedList(bunch, kObjects, replicas);
+    rig.cluster.network().ResetStats();
+    state.ResumeTiming();
+
+    rig.cluster.node(0).gc().CollectBunch(bunch);
+
+    state.PauseTiming();
+    // Messages sent synchronously during the BGC itself (tables flow in the
+    // background *after* it and are pumped outside the timed region).
+    state.counters["msgs_during_gc"] =
+        static_cast<double>(rig.cluster.network().stats().TotalSent()) -
+        static_cast<double>(rig.cluster.network().stats().For(MsgKind::kReachabilityTable).sent);
+    state.counters["gc_tokens"] = static_cast<double>(rig.cluster.node(0).dsm().GcTokenAcquires());
+    state.counters["objects_copied"] =
+        static_cast<double>(rig.cluster.node(0).gc().stats().objects_copied);
+    rig.cluster.Pump();
+    state.ResumeTiming();
+  }
+  state.counters["replicas"] = static_cast<double>(replicas);
+}
+BENCHMARK(E2_BmxBgc)->DenseRange(1, 8)->Unit(benchmark::kMicrosecond);
+
+void E2_StrongCopy(benchmark::State& state) {
+  size_t replicas = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    BenchRig rig(8);
+    BunchId bunch = rig.cluster.CreateBunch(0);
+    rig.BuildReplicatedList(bunch, kObjects, replicas);
+    StrongCopyCollector strong(&rig.cluster, rig.AgentPtrs());
+    rig.cluster.network().ResetStats();
+    state.ResumeTiming();
+
+    strong.Collect(0, bunch);
+
+    state.PauseTiming();
+    state.counters["msgs_during_gc"] =
+        static_cast<double>(rig.cluster.network().stats().TotalSent());
+    state.counters["gc_tokens"] = static_cast<double>(strong.stats().tokens_acquired);
+    state.counters["update_msgs"] = static_cast<double>(strong.stats().update_messages);
+    state.ResumeTiming();
+  }
+  state.counters["replicas"] = static_cast<double>(replicas);
+}
+BENCHMARK(E2_StrongCopy)->DenseRange(1, 8)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace bmx
+
+BENCHMARK_MAIN();

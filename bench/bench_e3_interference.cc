@@ -1,0 +1,109 @@
+// E3 — GC/DSM interference (§4.2, §8): "the BGC never acquires a token for
+// any object, and consequently does not interfere with the DSM consistency
+// protocol."
+//
+// A replica node reads its cached working set in a tight loop.  Series:
+// reader throughput (a) with no collector running, (b) with the BMX BGC
+// collecting the owner's replica between batches, (c) with the strong-copy
+// collector doing the same.  Counters: read-copies invalidated at the reader
+// and tokens acquired by the collector — the mechanism behind the slowdown.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/baselines/strong_copy.h"
+
+namespace bmx {
+namespace {
+
+constexpr size_t kObjects = 64;
+
+struct WorkingSet {
+  std::vector<Gaddr> objects;
+};
+
+WorkingSet CacheAll(BenchRig& rig, BunchId bunch, Gaddr head) {
+  WorkingSet ws;
+  Gaddr cur = head;
+  while (cur != kNullAddr) {
+    ws.objects.push_back(cur);
+    rig.mutators[1]->AcquireRead(cur);
+    Gaddr next = rig.mutators[1]->ReadRef(cur, 0);
+    rig.mutators[1]->Release(cur);
+    cur = next;
+  }
+  (void)bunch;
+  return ws;
+}
+
+// One "application batch": the reader touches its whole working set.
+uint64_t ReadBatch(BenchRig& rig, const WorkingSet& ws) {
+  uint64_t sum = 0;
+  for (Gaddr obj : ws.objects) {
+    Gaddr cur = rig.cluster.node(1).dsm().ResolveAddr(obj);
+    rig.mutators[1]->AcquireRead(cur);
+    sum += rig.mutators[1]->ReadWord(cur, 1);
+    rig.mutators[1]->Release(cur);
+  }
+  return sum;
+}
+
+void E3_ReaderAlone(benchmark::State& state) {
+  BenchRig rig(2);
+  BunchId bunch = rig.cluster.CreateBunch(0);
+  Gaddr head = rig.BuildReplicatedList(bunch, kObjects, 2);
+  WorkingSet ws = CacheAll(rig, bunch, head);
+  rig.cluster.network().ResetStats();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ReadBatch(rig, ws));
+  }
+  state.SetItemsProcessed(state.iterations() * kObjects);
+  state.counters["reader_msgs"] = static_cast<double>(rig.cluster.network().stats().TotalSent());
+  state.counters["invalidated"] =
+      static_cast<double>(rig.cluster.node(1).dsm().stats().read_copies_invalidated);
+}
+BENCHMARK(E3_ReaderAlone)->Unit(benchmark::kMicrosecond);
+
+void E3_ReaderDuringBmxGc(benchmark::State& state) {
+  BenchRig rig(2);
+  BunchId bunch = rig.cluster.CreateBunch(0);
+  Gaddr head = rig.BuildReplicatedList(bunch, kObjects, 2);
+  WorkingSet ws = CacheAll(rig, bunch, head);
+  rig.cluster.node(1).dsm().ResetStats();
+  for (auto _ : state) {
+    // Owner collects while the reader works: the reader's tokens survive,
+    // so its batch runs at cached speed.
+    rig.cluster.node(0).gc().CollectBunch(bunch);
+    benchmark::DoNotOptimize(ReadBatch(rig, ws));
+  }
+  state.SetItemsProcessed(state.iterations() * kObjects);
+  state.counters["invalidated"] =
+      static_cast<double>(rig.cluster.node(1).dsm().stats().read_copies_invalidated);
+  state.counters["gc_tokens"] = static_cast<double>(rig.cluster.node(0).dsm().GcTokenAcquires());
+}
+BENCHMARK(E3_ReaderDuringBmxGc)->Unit(benchmark::kMicrosecond);
+
+void E3_ReaderDuringStrongGc(benchmark::State& state) {
+  BenchRig rig(2);
+  BunchId bunch = rig.cluster.CreateBunch(0);
+  Gaddr head = rig.BuildReplicatedList(bunch, kObjects, 2);
+  WorkingSet ws = CacheAll(rig, bunch, head);
+  StrongCopyCollector strong(&rig.cluster, rig.AgentPtrs());
+  rig.cluster.node(1).dsm().ResetStats();
+  for (auto _ : state) {
+    // The strong collector acquires every object's write token: the reader's
+    // entire working set is invalidated and every read re-fetches.
+    strong.Collect(0, bunch);
+    benchmark::DoNotOptimize(ReadBatch(rig, ws));
+  }
+  state.SetItemsProcessed(state.iterations() * kObjects);
+  state.counters["invalidated"] =
+      static_cast<double>(rig.cluster.node(1).dsm().stats().read_copies_invalidated);
+  state.counters["gc_tokens"] = static_cast<double>(strong.stats().tokens_acquired);
+}
+BENCHMARK(E3_ReaderDuringStrongGc)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace bmx
+
+BENCHMARK_MAIN();

@@ -1,0 +1,85 @@
+// E4 — lazy piggybacked reference updates vs eager explicit messages (§4.4).
+//
+// After the owner's BGC moves N objects, remote replicas need the new
+// locations.  BMX piggybacks them on the consistency messages applications
+// send anyway; the eager strategy broadcasts dedicated update messages and
+// waits for acks.  Series over N: dedicated messages sent and bytes carried
+// by each strategy.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/baselines/strong_copy.h"
+
+namespace bmx {
+namespace {
+
+void E4_LazyPiggyback(benchmark::State& state) {
+  size_t objects = static_cast<size_t>(state.range(0));
+  uint64_t gc_messages = 0;
+  uint64_t piggyback_updates = 0;
+  uint64_t app_acquires = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    BenchRig rig(2);
+    BunchId bunch = rig.cluster.CreateBunch(0);
+    Gaddr head = rig.BuildReplicatedList(bunch, objects, 2);
+    state.ResumeTiming();
+
+    rig.cluster.node(0).gc().CollectBunch(bunch);
+    // The replica keeps computing on stale addresses; when the application
+    // itself synchronizes (one acquire), the piggyback delivers what it
+    // needs — no dedicated update message ever flows.
+    rig.mutators[0]->AcquireWrite(head);
+    rig.mutators[0]->Release(head);
+    Gaddr at1 = rig.cluster.node(1).dsm().ResolveAddr(head);
+    rig.mutators[1]->AcquireRead(at1);
+    rig.mutators[1]->Release(at1);
+
+    state.PauseTiming();
+    gc_messages += rig.cluster.network().stats().For(MsgKind::kAddressChange).sent +
+                   rig.cluster.network().stats().For(MsgKind::kStrongUpdate).sent;
+    piggyback_updates += rig.cluster.node(0).dsm().stats().piggyback_updates_sent;
+    app_acquires += rig.cluster.node(1).dsm().stats().remote_acquires;
+    rig.cluster.Pump();
+    state.ResumeTiming();
+  }
+  double iters = static_cast<double>(state.iterations());
+  state.counters["dedicated_update_msgs"] = static_cast<double>(gc_messages) / iters;
+  state.counters["piggybacked_updates"] = static_cast<double>(piggyback_updates) / iters;
+  state.counters["objects_moved"] = static_cast<double>(objects);
+}
+BENCHMARK(E4_LazyPiggyback)->RangeMultiplier(4)->Range(4, 256)->Unit(benchmark::kMicrosecond);
+
+void E4_EagerBroadcast(benchmark::State& state) {
+  size_t objects = static_cast<size_t>(state.range(0));
+  uint64_t update_messages = 0;
+  uint64_t update_bytes = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    BenchRig rig(2);
+    BunchId bunch = rig.cluster.CreateBunch(0);
+    rig.BuildReplicatedList(bunch, objects, 2);
+    StrongCopyCollector strong(&rig.cluster, rig.AgentPtrs());
+    rig.cluster.network().ResetStats();
+    state.ResumeTiming();
+
+    strong.Collect(0, bunch);
+
+    state.PauseTiming();
+    update_messages += rig.cluster.network().stats().For(MsgKind::kStrongUpdate).sent +
+                       rig.cluster.network().stats().For(MsgKind::kStrongUpdateAck).sent;
+    update_bytes += rig.cluster.network().stats().For(MsgKind::kStrongUpdate).bytes;
+    state.ResumeTiming();
+  }
+  double iters = static_cast<double>(state.iterations());
+  state.counters["dedicated_update_msgs"] = static_cast<double>(update_messages) / iters;
+  state.counters["update_bytes"] = static_cast<double>(update_bytes) / iters;
+  state.counters["objects_moved"] = static_cast<double>(objects);
+}
+BENCHMARK(E4_EagerBroadcast)->RangeMultiplier(4)->Range(4, 256)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace bmx
+
+BENCHMARK_MAIN();

@@ -1,0 +1,93 @@
+// E5 — from-space reclamation cost (§4.5): the one GC path with explicit
+// messages.  Sweep the number of live *non-owned* objects stranded in the
+// from-space; series: copy-request round-trips, address-change messages, and
+// wall time until the segment is free.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace bmx {
+namespace {
+
+void E5_Reclaim(benchmark::State& state) {
+  size_t stranded = static_cast<size_t>(state.range(0));
+  uint64_t copy_requests = 0;
+  uint64_t address_changes = 0;
+  uint64_t segments_freed = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    BenchRig rig(2);
+    BunchId bunch = rig.cluster.CreateBunch(0);
+    // Node 0 allocates `stranded` objects, node 1 takes ownership of all of
+    // them; node 0 keeps rooted, non-owned replicas.
+    std::vector<Gaddr> objs;
+    for (size_t i = 0; i < stranded; ++i) {
+      Gaddr o = rig.mutators[0]->Alloc(bunch, 2);
+      rig.mutators[0]->AddRoot(o);
+      objs.push_back(o);
+    }
+    for (Gaddr o : objs) {
+      rig.mutators[1]->AcquireWrite(o);
+      rig.mutators[1]->Release(o);
+      rig.mutators[0]->AcquireRead(o);
+      rig.mutators[0]->Release(o);
+    }
+    // Node 0's BGC flips; its old segment is now from-space full of live
+    // non-owned objects.
+    rig.cluster.node(0).gc().CollectBunch(bunch);
+    rig.cluster.Pump();
+    rig.cluster.network().ResetStats();
+    rig.cluster.node(0).gc().ResetStats();
+    state.ResumeTiming();
+
+    rig.cluster.node(0).gc().ReclaimFromSpaces(bunch);
+    rig.cluster.Pump();
+
+    state.PauseTiming();
+    copy_requests += rig.cluster.network().stats().For(MsgKind::kCopyRequest).sent;
+    address_changes += rig.cluster.network().stats().For(MsgKind::kAddressChange).sent;
+    segments_freed += rig.cluster.node(0).gc().stats().segments_freed;
+    state.ResumeTiming();
+  }
+  double iters = static_cast<double>(state.iterations());
+  state.counters["copy_requests"] = static_cast<double>(copy_requests) / iters;
+  state.counters["address_change_msgs"] = static_cast<double>(address_changes) / iters;
+  state.counters["segments_freed"] = static_cast<double>(segments_freed) / iters;
+  state.counters["stranded_objects"] = static_cast<double>(stranded);
+}
+BENCHMARK(E5_Reclaim)->RangeMultiplier(2)->Range(1, 128)->Unit(benchmark::kMicrosecond);
+
+void E5_ReclaimNoStranded(benchmark::State& state) {
+  // Baseline: everything locally owned — reclamation needs only the
+  // address-change notices to replica holders, no copy requests.
+  uint64_t copy_requests = 0;
+  uint64_t address_changes = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    BenchRig rig(2);
+    BunchId bunch = rig.cluster.CreateBunch(0);
+    rig.BuildReplicatedList(bunch, 64, 2);
+    rig.cluster.node(0).gc().CollectBunch(bunch);
+    rig.cluster.Pump();
+    rig.cluster.network().ResetStats();
+    state.ResumeTiming();
+
+    rig.cluster.node(0).gc().ReclaimFromSpaces(bunch);
+    rig.cluster.Pump();
+
+    state.PauseTiming();
+    copy_requests += rig.cluster.network().stats().For(MsgKind::kCopyRequest).sent;
+    address_changes += rig.cluster.network().stats().For(MsgKind::kAddressChange).sent;
+    state.ResumeTiming();
+  }
+  double iters = static_cast<double>(state.iterations());
+  state.counters["copy_requests"] = static_cast<double>(copy_requests) / iters;
+  state.counters["address_change_msgs"] = static_cast<double>(address_changes) / iters;
+}
+BENCHMARK(E5_ReclaimNoStranded)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace bmx
+
+BENCHMARK_MAIN();

@@ -1,0 +1,108 @@
+// E6 — write-token acquire latency under the §5 invariants (Figure 3).
+//
+// N2 acquires O1's write token from N1 with 0..D of O1's referents copied to
+// to-space at N1: the piggyback grows with D (invariant 1) but the acquire
+// stays one round trip.  Counters: piggybacked updates and intra-SSP
+// requests carried by the grant.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace bmx {
+namespace {
+
+void E6_AcquireAfterOwnerGc(benchmark::State& state) {
+  size_t referents = static_cast<size_t>(state.range(0));
+  uint64_t updates = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    BenchRig rig(2);
+    BunchId bunch = rig.cluster.CreateBunch(0);
+    Mutator& owner = *rig.mutators[0];
+    Gaddr o1 = owner.Alloc(bunch, static_cast<uint32_t>(referents + 1));
+    for (size_t i = 0; i < referents; ++i) {
+      Gaddr ref = owner.Alloc(bunch, 1);
+      owner.WriteRef(o1, i, ref);
+    }
+    owner.AddRoot(o1);
+    // Owner's BGC moves O1 and all its referents (case (b)/(c) of Fig. 3).
+    rig.cluster.node(0).gc().CollectBunch(bunch);
+    rig.cluster.node(0).dsm().ResetStats();
+    state.ResumeTiming();
+
+    bool ok = rig.mutators[1]->AcquireWrite(o1);
+    benchmark::DoNotOptimize(ok);
+
+    state.PauseTiming();
+    rig.mutators[1]->Release(o1);
+    updates += rig.cluster.node(0).dsm().stats().piggyback_updates_sent;
+    state.ResumeTiming();
+  }
+  state.counters["piggyback_updates"] =
+      static_cast<double>(updates) / static_cast<double>(state.iterations());
+  state.counters["referents_moved"] = static_cast<double>(referents);
+}
+BENCHMARK(E6_AcquireAfterOwnerGc)->DenseRange(0, 8)->Unit(benchmark::kMicrosecond);
+
+void E6_AcquireNoGc(benchmark::State& state) {
+  // Case (a): nothing copied anywhere — the latency floor.
+  size_t referents = 4;
+  for (auto _ : state) {
+    state.PauseTiming();
+    BenchRig rig(2);
+    BunchId bunch = rig.cluster.CreateBunch(0);
+    Mutator& owner = *rig.mutators[0];
+    Gaddr o1 = owner.Alloc(bunch, static_cast<uint32_t>(referents + 1));
+    for (size_t i = 0; i < referents; ++i) {
+      owner.WriteRef(o1, i, owner.Alloc(bunch, 1));
+    }
+    owner.AddRoot(o1);
+    rig.cluster.node(0).dsm().ResetStats();
+    state.ResumeTiming();
+
+    bool ok = rig.mutators[1]->AcquireWrite(o1);
+    benchmark::DoNotOptimize(ok);
+
+    state.PauseTiming();
+    rig.mutators[1]->Release(o1);
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(E6_AcquireNoGc)->Unit(benchmark::kMicrosecond);
+
+void E6_AcquireWithIntraSsp(benchmark::State& state) {
+  // Invariant 3: the old owner holds an inter-bunch stub, so the grant also
+  // creates the intra-bunch SSP before completing.
+  uint64_t ssp_requests = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    BenchRig rig(2);
+    BunchId bunch = rig.cluster.CreateBunch(0);
+    BunchId other = rig.cluster.CreateBunch(0);
+    Mutator& owner = *rig.mutators[0];
+    Gaddr o1 = owner.Alloc(bunch, 2);
+    Gaddr out = owner.Alloc(other, 1);
+    owner.AddRoot(out);
+    owner.WriteRef(o1, 0, out);
+    owner.AddRoot(o1);
+    rig.cluster.node(0).dsm().ResetStats();
+    state.ResumeTiming();
+
+    bool ok = rig.mutators[1]->AcquireWrite(o1);
+    benchmark::DoNotOptimize(ok);
+
+    state.PauseTiming();
+    rig.mutators[1]->Release(o1);
+    ssp_requests += rig.cluster.node(0).dsm().stats().piggyback_ssp_requests_sent;
+    state.ResumeTiming();
+  }
+  state.counters["intra_ssp_requests"] =
+      static_cast<double>(ssp_requests) / static_cast<double>(state.iterations());
+}
+BENCHMARK(E6_AcquireWithIntraSsp)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace bmx
+
+BENCHMARK_MAIN();

@@ -1,0 +1,152 @@
+// E7 — distributed death cascade (Figure 4 + §6): rounds and messages until
+// a dropped object is reclaimed everywhere, over replica-chain length and
+// message-loss rate; plus the reference-counting baseline's behaviour under
+// the same loss (leaks) — the §6.1 idempotency argument, quantified.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/baselines/refcount.h"
+
+namespace bmx {
+namespace {
+
+// Builds a cross-node reference chain: the target lives at the last node;
+// each node caches it; node 0's root is the only mutator reference.
+struct CascadeRig {
+  explicit CascadeRig(size_t nodes, uint64_t seed = 1)
+      : rig(nodes) {
+    rig.cluster.network().set_loss_rate(0);
+    (void)seed;
+  }
+  BenchRig rig;
+};
+
+void E7_CascadeRounds(benchmark::State& state) {
+  size_t nodes = static_cast<size_t>(state.range(0));
+  uint64_t total_rounds = 0;
+  uint64_t total_msgs = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    BenchRig rig(nodes);
+    BunchId b1 = rig.cluster.CreateBunch(0);
+    BunchId b2 = rig.cluster.CreateBunch(static_cast<NodeId>(nodes - 1));
+    Gaddr target = rig.mutators[nodes - 1]->Alloc(b2, 1);
+    // Every intermediate node caches the target (ownership chain).
+    for (size_t n = 1; n + 1 < nodes; ++n) {
+      rig.mutators[n]->AcquireWrite(target);
+      rig.mutators[n]->Release(target);
+    }
+    Gaddr src = rig.mutators[0]->Alloc(b1, 2);
+    rig.mutators[0]->AddRoot(src);
+    rig.mutators[0]->WriteRef(src, 0, target);
+    rig.cluster.Pump();
+    rig.mutators[0]->WriteRef(src, 0, kNullAddr);
+    rig.cluster.network().ResetStats();
+    state.ResumeTiming();
+
+    uint64_t rounds = 0;
+    bool done = false;
+    while (!done && rounds < 32) {
+      rounds++;
+      for (size_t n = 0; n < nodes; ++n) {
+        rig.cluster.node(n).gc().CollectGroup();
+        rig.cluster.Pump();
+      }
+      done = rig.cluster.node(nodes - 1).gc().stats().objects_reclaimed > 0;
+    }
+
+    state.PauseTiming();
+    total_rounds += rounds;
+    total_msgs += rig.cluster.network().stats().SentInCategory(MsgCategory::kGcBackground);
+    state.ResumeTiming();
+  }
+  double iters = static_cast<double>(state.iterations());
+  state.counters["rounds_to_reclaim"] = static_cast<double>(total_rounds) / iters;
+  state.counters["gc_background_msgs"] = static_cast<double>(total_msgs) / iters;
+  state.counters["nodes"] = static_cast<double>(nodes);
+}
+BENCHMARK(E7_CascadeRounds)->DenseRange(2, 6)->Unit(benchmark::kMillisecond);
+
+void E7_CascadeUnderLoss(benchmark::State& state) {
+  double loss = static_cast<double>(state.range(0)) / 100.0;
+  uint64_t total_rounds = 0;
+  uint64_t failures = 0;
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    state.PauseTiming();
+    BenchRig rig(2, CopySetMode::kCentralized, seed++);
+    rig.cluster.network().set_loss_rate(loss);
+    BunchId b1 = rig.cluster.CreateBunch(0);
+    BunchId b2 = rig.cluster.CreateBunch(1);
+    Gaddr target = rig.mutators[1]->Alloc(b2, 1);
+    Gaddr src = rig.mutators[0]->Alloc(b1, 2);
+    rig.mutators[0]->AddRoot(src);
+    rig.mutators[0]->WriteRef(src, 0, target);
+    rig.cluster.Pump();
+    rig.mutators[0]->WriteRef(src, 0, kNullAddr);
+    state.ResumeTiming();
+
+    uint64_t rounds = 0;
+    bool done = false;
+    while (!done && rounds < 64) {
+      rounds++;
+      rig.cluster.node(0).gc().CollectBunch(b1);
+      rig.cluster.Pump();
+      rig.cluster.node(1).gc().CollectBunch(b2);
+      rig.cluster.Pump();
+      done = rig.cluster.node(1).gc().stats().objects_reclaimed > 0;
+    }
+    state.PauseTiming();
+    total_rounds += rounds;
+    if (!done) {
+      failures++;
+    }
+    state.ResumeTiming();
+  }
+  double iters = static_cast<double>(state.iterations());
+  state.counters["rounds_to_reclaim"] = static_cast<double>(total_rounds) / iters;
+  state.counters["never_reclaimed"] = static_cast<double>(failures);
+  state.counters["loss_pct"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(E7_CascadeUnderLoss)->Arg(0)->Arg(10)->Arg(20)->Arg(40)->Unit(benchmark::kMillisecond);
+
+void E7_RefCountUnderLoss(benchmark::State& state) {
+  // The same drop under the same loss with inc/dec reference counting:
+  // a lost decrement is never repaired — the leak count is the story.
+  double loss = static_cast<double>(state.range(0)) / 100.0;
+  uint64_t leaks = 0;
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    state.PauseTiming();
+    BenchRig rig(2, CopySetMode::kCentralized, seed++);
+    rig.cluster.network().set_loss_rate(loss);
+    RefCountGc rc(&rig.cluster);
+    BunchId b1 = rig.cluster.CreateBunch(0);
+    BunchId b2 = rig.cluster.CreateBunch(1);
+    Gaddr target = rig.mutators[1]->Alloc(b2, 1);
+    Gaddr src = rig.mutators[0]->Alloc(b1, 2);
+    rig.mutators[0]->AddRoot(src);
+    state.ResumeTiming();
+
+    rc.WriteRef(rig.mutators[0].get(), src, 0, target);
+    rig.cluster.Pump();
+    rc.WriteRef(rig.mutators[0].get(), src, 0, kNullAddr);
+    rig.cluster.Pump();
+
+    state.PauseTiming();
+    if (rig.agents[1]->rc().reclaimed == 0) {
+      leaks++;  // inc or dec lost: object leaked (or worse)
+    }
+    state.ResumeTiming();
+  }
+  state.counters["leaked_runs"] = static_cast<double>(leaks);
+  state.counters["runs"] = static_cast<double>(state.iterations());
+  state.counters["loss_pct"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(E7_RefCountUnderLoss)->Arg(0)->Arg(10)->Arg(20)->Arg(40)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace bmx
+
+BENCHMARK_MAIN();

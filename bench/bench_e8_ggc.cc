@@ -1,0 +1,97 @@
+// E8 — group garbage collection (§7): inter-bunch cycles that per-bunch
+// BGCs structurally cannot reclaim fall to a single GGC pass; GGC cost
+// scales with group size.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/workload/graph_builder.h"
+
+namespace bmx {
+namespace {
+
+void E8_BgcOnlyOnCycles(benchmark::State& state) {
+  size_t bunches = static_cast<size_t>(state.range(0));
+  uint64_t reclaimed = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    BenchRig rig(1);
+    GraphBuilder builder(&rig.cluster, rig.mutators[0].get());
+    std::vector<BunchId> ids;
+    for (size_t i = 0; i < bunches; ++i) {
+      ids.push_back(rig.cluster.CreateBunch(0));
+    }
+    for (int ring = 0; ring < 8; ++ring) {
+      builder.BuildCrossBunchCycle(ids);
+    }
+    state.ResumeTiming();
+
+    for (int round = 0; round < 3; ++round) {
+      for (BunchId b : ids) {
+        rig.cluster.node(0).gc().CollectBunch(b);
+      }
+    }
+
+    state.PauseTiming();
+    reclaimed += rig.cluster.node(0).gc().stats().objects_reclaimed;
+    state.ResumeTiming();
+  }
+  state.counters["cyclic_reclaimed"] =
+      static_cast<double>(reclaimed) / static_cast<double>(state.iterations());
+  state.counters["cyclic_garbage"] = static_cast<double>(8 * bunches);
+}
+BENCHMARK(E8_BgcOnlyOnCycles)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMicrosecond);
+
+void E8_GgcOnCycles(benchmark::State& state) {
+  size_t bunches = static_cast<size_t>(state.range(0));
+  uint64_t reclaimed = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    BenchRig rig(1);
+    GraphBuilder builder(&rig.cluster, rig.mutators[0].get());
+    std::vector<BunchId> ids;
+    for (size_t i = 0; i < bunches; ++i) {
+      ids.push_back(rig.cluster.CreateBunch(0));
+    }
+    for (int ring = 0; ring < 8; ++ring) {
+      builder.BuildCrossBunchCycle(ids);
+    }
+    state.ResumeTiming();
+
+    rig.cluster.node(0).gc().CollectGroup();
+
+    state.PauseTiming();
+    reclaimed += rig.cluster.node(0).gc().stats().objects_reclaimed;
+    state.ResumeTiming();
+  }
+  state.counters["cyclic_reclaimed"] =
+      static_cast<double>(reclaimed) / static_cast<double>(state.iterations());
+  state.counters["cyclic_garbage"] = static_cast<double>(8 * bunches);
+}
+BENCHMARK(E8_GgcOnCycles)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMicrosecond);
+
+void E8_GgcCostVsGroupSize(benchmark::State& state) {
+  // Live-data GGC cost as the locality-based group grows.
+  size_t bunches = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    BenchRig rig(1);
+    GraphBuilder builder(&rig.cluster, rig.mutators[0].get());
+    for (size_t i = 0; i < bunches; ++i) {
+      BunchId b = rig.cluster.CreateBunch(0);
+      Gaddr head = builder.BuildList(b, 50);
+      rig.mutators[0]->AddRoot(head);
+    }
+    state.ResumeTiming();
+
+    rig.cluster.node(0).gc().CollectGroup();
+  }
+  state.counters["bunches"] = static_cast<double>(bunches);
+  state.counters["live_objects"] = static_cast<double>(bunches * 50);
+}
+BENCHMARK(E8_GgcCostVsGroupSize)->RangeMultiplier(2)->Range(1, 16)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace bmx
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+// E9 — mutator pause (§4.1: the O'Toole-style collector was chosen because
+// "the time to flip is very small and therefore not disruptive").
+//
+// Series over heap size: (a) BMX — the pause a mutator on the *collecting*
+// node sees is that node's own BGC, and mutators on other nodes see no pause
+// at all; (b) stop-the-world — every node is stopped for the whole
+// distributed operation.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/baselines/stop_the_world.h"
+
+namespace bmx {
+namespace {
+
+void E9_BmxLocalPause(benchmark::State& state) {
+  size_t objects = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    BenchRig rig(3);
+    BunchId bunch = rig.cluster.CreateBunch(0);
+    rig.BuildReplicatedList(bunch, objects, 3);
+    state.ResumeTiming();
+
+    // The collecting node's mutators pause for exactly this call; mutators on
+    // nodes 1 and 2 never stop (their tokens stay valid, E3 shows the rest).
+    rig.cluster.node(0).gc().CollectBunch(bunch);
+
+    state.PauseTiming();
+    rig.cluster.Pump();
+    state.ResumeTiming();
+  }
+  state.counters["heap_objects"] = static_cast<double>(objects);
+  state.counters["nodes_paused"] = 1;
+}
+BENCHMARK(E9_BmxLocalPause)->RangeMultiplier(4)->Range(64, 4096)->Unit(benchmark::kMicrosecond);
+
+void E9_StopTheWorldPause(benchmark::State& state) {
+  size_t objects = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    BenchRig rig(3);
+    BunchId bunch = rig.cluster.CreateBunch(0);
+    rig.BuildReplicatedList(bunch, objects, 3);
+    StopTheWorldCollector stw(&rig.cluster, rig.AgentPtrs());
+    state.ResumeTiming();
+
+    // Every mapper is stopped from the first StwStop to the last StwResume:
+    // the whole call is mutator-visible pause on all three nodes.
+    stw.Collect(0, bunch);
+  }
+  state.counters["heap_objects"] = static_cast<double>(objects);
+  state.counters["nodes_paused"] = 3;
+}
+BENCHMARK(E9_StopTheWorldPause)->RangeMultiplier(4)->Range(64, 4096)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace bmx
+
+BENCHMARK_MAIN();

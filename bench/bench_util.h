@@ -1,0 +1,70 @@
+// Shared rig for the benchmark harness: a cluster with baseline agents and
+// one mutator per node, plus helpers to build replicated workloads.
+//
+// Experiment ids (E1..E10) are defined in DESIGN.md §6; measured results are
+// recorded in EXPERIMENTS.md.
+
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/baselines/baseline_agent.h"
+#include "src/runtime/cluster.h"
+#include "src/runtime/mutator.h"
+
+namespace bmx {
+
+struct BenchRig {
+  explicit BenchRig(size_t nodes, CopySetMode mode = CopySetMode::kCentralized,
+                    uint64_t seed = 1)
+      : cluster({.num_nodes = nodes, .copyset_mode = mode, .seed = seed}) {
+    for (size_t i = 0; i < nodes; ++i) {
+      agents.push_back(std::make_unique<BaselineAgent>(&cluster.node(i)));
+      mutators.push_back(std::make_unique<Mutator>(&cluster.node(i)));
+    }
+  }
+
+  std::vector<BaselineAgent*> AgentPtrs() {
+    std::vector<BaselineAgent*> out;
+    for (auto& agent : agents) {
+      out.push_back(agent.get());
+    }
+    return out;
+  }
+
+  // Builds a linked list of `count` objects at node 0 and replicates it on
+  // nodes [1, replicas): every replica faults every object in (read tokens).
+  Gaddr BuildReplicatedList(BunchId bunch, size_t count, size_t replicas) {
+    Mutator& owner = *mutators[0];
+    Gaddr head = kNullAddr;
+    for (size_t i = 0; i < count; ++i) {
+      Gaddr node = owner.Alloc(bunch, 2);
+      owner.WriteRef(node, 0, head);
+      owner.WriteWord(node, 1, i);
+      head = node;
+    }
+    owner.AddRoot(head);
+    for (size_t r = 1; r < replicas; ++r) {
+      Gaddr cur = head;
+      while (cur != kNullAddr) {
+        mutators[r]->AcquireRead(cur);
+        Gaddr next = mutators[r]->ReadRef(cur, 0);
+        mutators[r]->Release(cur);
+        cur = next;
+      }
+      mutators[r]->AddRoot(head);
+    }
+    cluster.Pump();
+    return head;
+  }
+
+  Cluster cluster;
+  std::vector<std::unique_ptr<BaselineAgent>> agents;
+  std::vector<std::unique_ptr<Mutator>> mutators;
+};
+
+}  // namespace bmx
+
+#endif  // BENCH_BENCH_UTIL_H_

@@ -1,0 +1,115 @@
+// Exploratory hypertext — the paper's §1 "exploratory tools similar to the
+// World-Wide-Web" workload.
+//
+// Pages live in per-topic bunches and link freely across topics, forming
+// cross-bunch cycles (page rings).  When the crawler's root set moves on,
+// acyclic garbage falls to ordinary BGCs via the scion cleaner, while the
+// cyclic rings — which no bunch-local collector can prove dead — fall to the
+// group garbage collector (§7).
+
+#include <cstdio>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/runtime/cluster.h"
+#include "src/runtime/mutator.h"
+
+using namespace bmx;
+
+namespace {
+
+constexpr size_t kSlotLink0 = 0;
+constexpr size_t kSlotLink1 = 1;
+constexpr size_t kSlotId = 2;
+
+Gaddr NewPage(Mutator& m, BunchId topic, uint64_t id) {
+  Gaddr page = m.Alloc(topic, 3);
+  m.WriteWord(page, kSlotId, id);
+  return page;
+}
+
+}  // namespace
+
+int main() {
+  Cluster cluster({.num_nodes = 1});
+  Mutator crawler(&cluster.node(0));
+  Rng rng(2026);
+
+  // Four topic bunches.
+  std::vector<BunchId> topics;
+  for (int i = 0; i < 4; ++i) {
+    topics.push_back(cluster.CreateBunch(0));
+  }
+
+  // A live portal page with outgoing links.
+  Gaddr portal = NewPage(crawler, topics[0], 1);
+  crawler.AddRoot(portal);
+
+  // A reachable chain of pages hopping across topics.
+  Gaddr prev = portal;
+  for (uint64_t id = 2; id <= 9; ++id) {
+    Gaddr page = NewPage(crawler, topics[id % topics.size()], id);
+    crawler.WriteRef(prev, kSlotLink0, page);
+    prev = page;
+  }
+
+  // Several cross-topic page *rings* that the portal no longer links to:
+  // cyclic garbage spanning bunches.
+  size_t ring_pages = 0;
+  for (int ring = 0; ring < 3; ++ring) {
+    std::vector<Gaddr> pages;
+    for (size_t t = 0; t < topics.size(); ++t) {
+      pages.push_back(NewPage(crawler, topics[t], 100 + ring * 10 + t));
+      ring_pages++;
+    }
+    for (size_t i = 0; i < pages.size(); ++i) {
+      crawler.WriteRef(pages[i], kSlotLink1, pages[(i + 1) % pages.size()]);
+    }
+  }
+  // Plus plain acyclic junk.
+  for (int i = 0; i < 20; ++i) {
+    NewPage(crawler, topics[rng.Below(topics.size())], 900 + i);
+  }
+
+  std::printf("built: 9 live pages, %zu cyclic-garbage pages, 20 acyclic-garbage pages\n",
+              ring_pages);
+
+  // Per-bunch BGCs reclaim the acyclic junk but are *structurally unable* to
+  // collect the rings: each bunch's collector sees a scion from another
+  // bunch and must keep its ring members alive.
+  for (BunchId topic : topics) {
+    cluster.node(0).gc().CollectBunch(topic);
+  }
+  uint64_t after_bgc = cluster.node(0).gc().stats().objects_reclaimed;
+  std::printf("after per-bunch BGCs: %llu reclaimed (the %zu ring pages survive)\n",
+              (unsigned long long)after_bgc, ring_pages);
+
+  // The group collector treats all locally mapped bunches as one space:
+  // scions whose stubs originate inside the group are not roots, so the
+  // rings collapse.
+  cluster.node(0).gc().CollectGroup();
+  uint64_t after_ggc = cluster.node(0).gc().stats().objects_reclaimed;
+  std::printf("after one GGC: %llu reclaimed total (+%llu ring pages)\n",
+              (unsigned long long)after_ggc, (unsigned long long)(after_ggc - after_bgc));
+
+  // The live chain is untouched; walk and print it.
+  std::printf("live chain: ");
+  Gaddr cur = cluster.node(0).dsm().ResolveAddr(portal);
+  while (cur != kNullAddr) {
+    crawler.AcquireRead(cur);
+    std::printf("%llu ", (unsigned long long)crawler.ReadWord(cur, kSlotId));
+    Gaddr next = crawler.ReadRef(cur, kSlotLink0);
+    crawler.Release(cur);
+    cur = next;
+  }
+  std::printf("\n");
+
+  // Reuse the address space: free every from-space segment.
+  for (BunchId topic : topics) {
+    cluster.node(0).gc().ReclaimFromSpaces(topic);
+  }
+  cluster.Pump();
+  std::printf("segments freed: %llu\n",
+              (unsigned long long)cluster.node(0).gc().stats().segments_freed);
+  return 0;
+}

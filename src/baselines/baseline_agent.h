@@ -1,0 +1,56 @@
+// Per-node message handler for the baseline collectors' message kinds.  One
+// agent per node, installed as the node's extra handler.
+
+#ifndef SRC_BASELINES_BASELINE_AGENT_H_
+#define SRC_BASELINES_BASELINE_AGENT_H_
+
+#include <cstdint>
+#include <map>
+
+#include "src/baselines/payloads.h"
+#include "src/net/network.h"
+#include "src/runtime/node.h"
+
+namespace bmx {
+
+// Per-node reference-counting state (Bevan-style baseline): the count of
+// inter-bunch references known to target each locally created object.
+struct RefCountState {
+  std::map<Oid, int64_t> counts;
+  uint64_t reclaimed = 0;       // counts that reached zero
+  uint64_t negative_counts = 0; // unsafe: a duplicate/late decrement drove a
+                                // count below zero (premature reclamation)
+};
+
+class BaselineAgent : public MessageHandler {
+ public:
+  explicit BaselineAgent(Node* node);
+
+  void HandleMessage(const Message& msg) override;
+
+  // Strong-copy collector support: acks outstanding for the local round.
+  uint64_t strong_acks_pending() const { return strong_acks_pending_; }
+  void add_strong_acks_pending(uint64_t n) { strong_acks_pending_ += n; }
+
+  // Stop-the-world support.
+  bool stopped() const { return stopped_; }
+  uint64_t stw_done_received() const { return stw_done_received_; }
+  void reset_stw_done() { stw_done_received_ = 0; }
+
+  RefCountState& rc() { return rc_; }
+
+ private:
+  void HandleStrongUpdate(const Message& msg);
+  void HandleStwStop(const Message& msg);
+  void HandleRcDelta(const Message& msg, int64_t delta);
+
+  Node* node_;
+  uint64_t strong_acks_pending_ = 0;
+  bool stopped_ = false;
+  uint64_t stw_done_received_ = 0;
+  RefCountState rc_;
+};
+
+}  // namespace bmx
+
+#endif  // SRC_BASELINES_BASELINE_AGENT_H_

@@ -1,0 +1,82 @@
+// Message payloads of the baseline collectors (paper §9 comparators).
+//
+// These collectors exist to measure what the BMX design avoids: the
+// strong-consistency copier (after Le Sergent & Berthomieu) acquires tokens
+// and pushes address updates eagerly; the stop-the-world collector
+// synchronizes every replica; the reference-counting collector (after Bevan)
+// uses non-idempotent increment/decrement messages.
+
+#ifndef SRC_BASELINES_PAYLOADS_H_
+#define SRC_BASELINES_PAYLOADS_H_
+
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/dsm/piggyback.h"
+#include "src/net/message.h"
+
+namespace bmx {
+
+// Eager new-location broadcast; applications wait while these are applied.
+struct StrongUpdatePayload : public Payload {
+  uint64_t round = 0;
+  std::vector<AddressUpdate> updates;
+  MsgKind kind() const override { return MsgKind::kStrongUpdate; }
+  MsgCategory category() const override { return MsgCategory::kGcForeground; }
+  size_t WireSize() const override { return 8 + updates.size() * 28; }
+};
+
+struct StrongUpdateAckPayload : public Payload {
+  uint64_t round = 0;
+  MsgKind kind() const override { return MsgKind::kStrongUpdateAck; }
+  MsgCategory category() const override { return MsgCategory::kGcForeground; }
+  size_t WireSize() const override { return 8; }
+};
+
+// Stop-the-world barrier protocol.
+struct StwStopPayload : public Payload {
+  uint64_t round = 0;
+  BunchId bunch = kInvalidBunch;
+  MsgKind kind() const override { return MsgKind::kStwStop; }
+  MsgCategory category() const override { return MsgCategory::kGcForeground; }
+  size_t WireSize() const override { return 12; }
+};
+
+// "Stopped and collected" acknowledgment back to the coordinator.
+struct StwDonePayload : public Payload {
+  uint64_t round = 0;
+  uint64_t objects_reclaimed = 0;
+  MsgKind kind() const override { return MsgKind::kStwRootsReply; }
+  MsgCategory category() const override { return MsgCategory::kGcForeground; }
+  size_t WireSize() const override { return 16; }
+};
+
+struct StwResumePayload : public Payload {
+  uint64_t round = 0;
+  MsgKind kind() const override { return MsgKind::kStwResume; }
+  MsgCategory category() const override { return MsgCategory::kGcForeground; }
+  size_t WireSize() const override { return 8; }
+};
+
+// Reference-counting control messages.  Deliberately *not* idempotent — and
+// marked unreliable, so fault injection can demonstrate why the paper prefers
+// resendable full tables (§6.1).
+struct RcIncrementPayload : public Payload {
+  Gaddr target_addr = kNullAddr;
+  MsgKind kind() const override { return MsgKind::kRcIncrement; }
+  MsgCategory category() const override { return MsgCategory::kGcBackground; }
+  size_t WireSize() const override { return 8; }
+  bool reliable() const override { return false; }
+};
+
+struct RcDecrementPayload : public Payload {
+  Gaddr target_addr = kNullAddr;
+  MsgKind kind() const override { return MsgKind::kRcDecrement; }
+  MsgCategory category() const override { return MsgCategory::kGcBackground; }
+  size_t WireSize() const override { return 8; }
+  bool reliable() const override { return false; }
+};
+
+}  // namespace bmx
+
+#endif  // SRC_BASELINES_PAYLOADS_H_

@@ -1,0 +1,71 @@
+#include "src/baselines/refcount.h"
+
+#include "src/common/check.h"
+
+namespace bmx {
+
+RefCountGc::RefCountGc(Cluster* cluster) : cluster_(cluster) { BMX_CHECK(cluster_ != nullptr); }
+
+void RefCountGc::SendDelta(NodeId from, Gaddr target, bool increment) {
+  // The count lives with the target's segment creator (its "home").
+  NodeId home = cluster_->directory().SegmentCreator(SegmentOf(target));
+  if (home == from) {
+    // Local bookkeeping without a message (same-node count).
+    Message fake;
+    fake.src = from;
+    fake.dst = from;
+    if (increment) {
+      auto payload = std::make_shared<RcIncrementPayload>();
+      payload->target_addr = target;
+      fake.payload = payload;
+    } else {
+      auto payload = std::make_shared<RcDecrementPayload>();
+      payload->target_addr = target;
+      fake.payload = payload;
+    }
+    cluster_->node(from).HandleMessage(fake);
+  } else if (increment) {
+    auto payload = std::make_shared<RcIncrementPayload>();
+    payload->target_addr = target;
+    cluster_->network().Send(from, home, std::move(payload));
+  } else {
+    auto payload = std::make_shared<RcDecrementPayload>();
+    payload->target_addr = target;
+    cluster_->network().Send(from, home, std::move(payload));
+  }
+  if (increment) {
+    stats_.increments_sent++;
+  } else {
+    stats_.decrements_sent++;
+  }
+}
+
+void RefCountGc::WriteRef(Mutator* mutator, Gaddr obj, size_t slot, Gaddr target) {
+  BMX_CHECK(mutator != nullptr);
+  NodeId node = mutator->node_id();
+  Node& n = cluster_->node(node);
+  Gaddr resolved = n.dsm().ResolveAddr(obj);
+  BunchId src_bunch = cluster_->directory().BunchOfSegment(SegmentOf(resolved));
+
+  // Decrement for an overwritten inter-bunch reference (deletion barrier).
+  if (n.store().SlotIsRef(resolved, slot)) {
+    Gaddr old_target = n.store().ReadSlot(resolved, slot);
+    if (old_target != kNullAddr) {
+      Gaddr old_resolved = n.dsm().ResolveAddr(old_target);
+      if (cluster_->directory().BunchOfSegment(SegmentOf(old_resolved)) != src_bunch) {
+        SendDelta(node, old_resolved, /*increment=*/false);
+      }
+    }
+  }
+
+  mutator->WriteRef(obj, slot, target);
+
+  if (target != kNullAddr) {
+    Gaddr target_resolved = n.dsm().ResolveAddr(target);
+    if (cluster_->directory().BunchOfSegment(SegmentOf(target_resolved)) != src_bunch) {
+      SendDelta(node, target_resolved, /*increment=*/true);
+    }
+  }
+}
+
+}  // namespace bmx

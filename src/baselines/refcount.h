@@ -1,0 +1,45 @@
+// Distributed reference counting for inter-bunch references, after Bevan
+// (§9/[5]) — the acyclic-garbage comparator for the stub/scion mechanism.
+//
+// The write barrier's events are mirrored into increment/decrement messages
+// to the node holding the target object.  Two structural weaknesses, both of
+// which §6.1 calls out and the tests demonstrate:
+//   * inc/dec messages are not idempotent: a lost decrement leaks forever, a
+//     lost increment (or duplicated decrement) frees a live object;
+//   * counts never reach zero around a cycle, so distributed cycles leak.
+
+#ifndef SRC_BASELINES_REFCOUNT_H_
+#define SRC_BASELINES_REFCOUNT_H_
+
+#include "src/baselines/baseline_agent.h"
+#include "src/runtime/cluster.h"
+#include "src/runtime/mutator.h"
+
+namespace bmx {
+
+struct RefCountGcStats {
+  uint64_t increments_sent = 0;
+  uint64_t decrements_sent = 0;
+};
+
+// Driver that wraps a mutator's reference writes with the RC protocol.
+class RefCountGc {
+ public:
+  explicit RefCountGc(Cluster* cluster);
+
+  // Performs mutator.WriteRef(obj, slot, target) and sends the matching
+  // increment for the new target and decrement for any overwritten one.
+  void WriteRef(Mutator* mutator, Gaddr obj, size_t slot, Gaddr target);
+
+  const RefCountGcStats& stats() const { return stats_; }
+
+ private:
+  void SendDelta(NodeId from, Gaddr target, bool increment);
+
+  Cluster* cluster_;
+  RefCountGcStats stats_;
+};
+
+}  // namespace bmx
+
+#endif  // SRC_BASELINES_REFCOUNT_H_

@@ -1,0 +1,55 @@
+#include "src/baselines/stop_the_world.h"
+
+#include "src/common/check.h"
+
+namespace bmx {
+
+StopTheWorldCollector::StopTheWorldCollector(Cluster* cluster,
+                                             std::vector<BaselineAgent*> agents)
+    : cluster_(cluster), agents_(std::move(agents)) {
+  BMX_CHECK(cluster_ != nullptr);
+  BMX_CHECK_EQ(agents_.size(), cluster_->size());
+}
+
+void StopTheWorldCollector::Collect(NodeId coordinator, BunchId bunch) {
+  stats_.collections++;
+  uint64_t round = next_round_++;
+  BaselineAgent* agent = agents_[coordinator];
+  agent->reset_stw_done();
+
+  std::vector<NodeId> others;
+  for (NodeId node : cluster_->directory().MappersOf(bunch)) {
+    if (node != coordinator) {
+      others.push_back(node);
+    }
+  }
+
+  // Phase 1: stop the world.  Every mapper halts its mutators and collects.
+  for (NodeId node : others) {
+    auto stop = std::make_shared<StwStopPayload>();
+    stop->round = round;
+    stop->bunch = bunch;
+    cluster_->network().Send(coordinator, node, std::move(stop));
+    stats_.barrier_messages++;
+    stats_.nodes_stopped++;
+  }
+  // The coordinator collects its own replica while stopped.
+  cluster_->node(coordinator).gc().CollectBunch(bunch);
+  stats_.nodes_stopped++;
+
+  // Phase 2: barrier — wait for every node's done message.
+  cluster_->Pump();
+  BMX_CHECK_EQ(agent->stw_done_received(), others.size());
+  stats_.barrier_messages += others.size();
+
+  // Phase 3: resume.
+  for (NodeId node : others) {
+    auto resume = std::make_shared<StwResumePayload>();
+    resume->round = round;
+    cluster_->network().Send(coordinator, node, std::move(resume));
+    stats_.barrier_messages++;
+  }
+  cluster_->Pump();
+}
+
+}  // namespace bmx

@@ -1,0 +1,42 @@
+// Stop-the-world distributed collection — the scalability strawman (§9, Le
+// Sergent: "the entire address space is collected at the same time, which is
+// not scalable").  A coordinator stops every node mapping the bunch, each
+// stopped node collects its replica, and only then does anyone resume.  The
+// mutator-visible pause spans the whole distributed operation, versus the
+// BMX collector's per-node flip.
+
+#ifndef SRC_BASELINES_STOP_THE_WORLD_H_
+#define SRC_BASELINES_STOP_THE_WORLD_H_
+
+#include <vector>
+
+#include "src/baselines/baseline_agent.h"
+#include "src/runtime/cluster.h"
+
+namespace bmx {
+
+struct StopTheWorldStats {
+  uint64_t collections = 0;
+  uint64_t barrier_messages = 0;  // stop + done + resume
+  uint64_t nodes_stopped = 0;
+};
+
+class StopTheWorldCollector {
+ public:
+  StopTheWorldCollector(Cluster* cluster, std::vector<BaselineAgent*> agents);
+
+  // Stops every mapper of `bunch`, collects everywhere, resumes.
+  void Collect(NodeId coordinator, BunchId bunch);
+
+  const StopTheWorldStats& stats() const { return stats_; }
+
+ private:
+  Cluster* cluster_;
+  std::vector<BaselineAgent*> agents_;
+  uint64_t next_round_ = 1;
+  StopTheWorldStats stats_;
+};
+
+}  // namespace bmx
+
+#endif  // SRC_BASELINES_STOP_THE_WORLD_H_

@@ -1,0 +1,49 @@
+// Strong-consistency copying collector — the comparator the paper argues
+// against (§9, Le Sergent & Berthomieu style): objects are kept strongly
+// consistent, so the collector must acquire the write token for every live
+// object it relocates (invalidating all read copies), and must propagate new
+// locations eagerly with dedicated messages that applications wait behind.
+//
+// Liveness decisions are identical to the BMX collector (same trace); only
+// the consistency strategy differs, which is exactly the variable the
+// benchmarks isolate.
+
+#ifndef SRC_BASELINES_STRONG_COPY_H_
+#define SRC_BASELINES_STRONG_COPY_H_
+
+#include <vector>
+
+#include "src/baselines/baseline_agent.h"
+#include "src/runtime/cluster.h"
+
+namespace bmx {
+
+struct StrongCopyStats {
+  uint64_t collections = 0;
+  uint64_t objects_copied = 0;
+  uint64_t tokens_acquired = 0;
+  uint64_t update_messages = 0;
+  uint64_t update_rounds = 0;
+};
+
+class StrongCopyCollector {
+ public:
+  // `agents` must hold one BaselineAgent per cluster node, indexed by id.
+  StrongCopyCollector(Cluster* cluster, std::vector<BaselineAgent*> agents);
+
+  // Collects the replica of `bunch` at `node`, acquiring the write token for
+  // every live object and eagerly broadcasting every relocation.
+  void Collect(NodeId node, BunchId bunch);
+
+  const StrongCopyStats& stats() const { return stats_; }
+
+ private:
+  Cluster* cluster_;
+  std::vector<BaselineAgent*> agents_;
+  uint64_t next_round_ = 1;
+  StrongCopyStats stats_;
+};
+
+}  // namespace bmx
+
+#endif  // SRC_BASELINES_STRONG_COPY_H_

@@ -1,0 +1,83 @@
+// Dense bit array used for the per-segment object-map and reference-map
+// (paper §8): one bit per heap slot, a set bit in the object-map marks the
+// start of an object header, a set bit in the reference-map marks a slot that
+// holds a pointer.
+
+#ifndef SRC_COMMON_BITMAP_H_
+#define SRC_COMMON_BITMAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace bmx {
+
+class Bitmap {
+ public:
+  Bitmap() = default;
+  explicit Bitmap(size_t nbits) : nbits_(nbits), words_((nbits + 63) / 64, 0) {}
+
+  size_t size() const { return nbits_; }
+
+  void Set(size_t i) {
+    BMX_CHECK_LT(i, nbits_);
+    words_[i >> 6] |= uint64_t{1} << (i & 63);
+  }
+
+  void Clear(size_t i) {
+    BMX_CHECK_LT(i, nbits_);
+    words_[i >> 6] &= ~(uint64_t{1} << (i & 63));
+  }
+
+  bool Test(size_t i) const {
+    BMX_CHECK_LT(i, nbits_);
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  void ClearAll() { std::fill(words_.begin(), words_.end(), 0); }
+
+  size_t CountSet() const {
+    size_t n = 0;
+    for (uint64_t w : words_) {
+      n += static_cast<size_t>(__builtin_popcountll(w));
+    }
+    return n;
+  }
+
+  // Raw word access for serialization (persistence of object/reference maps).
+  const std::vector<uint64_t>& words() const { return words_; }
+  void LoadWords(const std::vector<uint64_t>& words) {
+    BMX_CHECK_EQ(words.size(), words_.size());
+    words_ = words;
+  }
+
+  // Returns the index of the first set bit at or after `from`, or `size()` if
+  // there is none.  Used to iterate objects in a segment via the object-map.
+  size_t FindNextSet(size_t from) const {
+    if (from >= nbits_) {
+      return nbits_;
+    }
+    size_t word = from >> 6;
+    uint64_t w = words_[word] & (~uint64_t{0} << (from & 63));
+    while (true) {
+      if (w != 0) {
+        size_t bit = (word << 6) + static_cast<size_t>(__builtin_ctzll(w));
+        return bit < nbits_ ? bit : nbits_;
+      }
+      if (++word >= words_.size()) {
+        return nbits_;
+      }
+      w = words_[word];
+    }
+  }
+
+ private:
+  size_t nbits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace bmx
+
+#endif  // SRC_COMMON_BITMAP_H_

@@ -1,0 +1,12 @@
+#include "src/common/check.h"
+
+namespace bmx {
+
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& msg) {
+  std::fprintf(stderr, "BMX_CHECK failed at %s:%d: %s %s\n", file, line, expr, msg.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace bmx

@@ -1,0 +1,58 @@
+// Fatal-assertion macros used throughout the BMX implementation.
+//
+// These are always-on invariant checks (not debug asserts): a violated
+// invariant in a storage system must stop the run rather than corrupt the
+// heap.  The cost is negligible next to the simulated-network work.
+
+#ifndef SRC_COMMON_CHECK_H_
+#define SRC_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace bmx {
+
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr, const std::string& msg);
+
+namespace check_detail {
+
+// Stream-style message collector so call sites can write
+// BMX_CHECK(x) << "context " << value;
+class CheckMessage {
+ public:
+  CheckMessage(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+
+  [[noreturn]] ~CheckMessage() { CheckFailed(file_, line_, expr_, stream_.str()); }
+
+  template <typename T>
+  CheckMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+}  // namespace check_detail
+}  // namespace bmx
+
+#define BMX_CHECK(cond)                                            \
+  if (cond) {                                                      \
+  } else /* NOLINT */                                              \
+    ::bmx::check_detail::CheckMessage(__FILE__, __LINE__, #cond)
+
+#define BMX_CHECK_EQ(a, b) BMX_CHECK((a) == (b)) << " (" << (a) << " vs " << (b) << ") "
+#define BMX_CHECK_NE(a, b) BMX_CHECK((a) != (b))
+#define BMX_CHECK_LT(a, b) BMX_CHECK((a) < (b)) << " (" << (a) << " vs " << (b) << ") "
+#define BMX_CHECK_LE(a, b) BMX_CHECK((a) <= (b)) << " (" << (a) << " vs " << (b) << ") "
+#define BMX_CHECK_GT(a, b) BMX_CHECK((a) > (b)) << " (" << (a) << " vs " << (b) << ") "
+#define BMX_CHECK_GE(a, b) BMX_CHECK((a) >= (b)) << " (" << (a) << " vs " << (b) << ") "
+
+#endif  // SRC_COMMON_CHECK_H_

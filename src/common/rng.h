@@ -1,0 +1,39 @@
+// Deterministic pseudo-random generator (splitmix64 core).
+//
+// Every source of randomness in the simulation — message-loss injection,
+// workload generation — draws from an explicitly seeded Rng so that runs are
+// reproducible bit-for-bit.
+
+#ifndef SRC_COMMON_RNG_H_
+#define SRC_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace bmx {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform integer in [0, bound).  bound must be > 0.
+  uint64_t Below(uint64_t bound) { return Next() % bound; }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0); }
+
+  bool Chance(double p) { return NextDouble() < p; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace bmx
+
+#endif  // SRC_COMMON_RNG_H_

@@ -1,0 +1,916 @@
+#include "src/dsm/dsm_node.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace bmx {
+
+const std::map<Oid, std::set<NodeId>> DsmNode::kNoEntering;
+
+DsmNode::DsmNode(NodeId id, Network* network, SegmentDirectory* directory, ReplicaStore* store,
+                 CopySetMode mode)
+    : id_(id), network_(network), directory_(directory), store_(store), mode_(mode) {
+  BMX_CHECK(network_ != nullptr && directory_ != nullptr && store_ != nullptr);
+}
+
+Gaddr DsmNode::ResolveAddr(Gaddr addr) const {
+  // Forwarding chains grow by one hop per collection that moves the object;
+  // path compression (pointer jumping, as any real forwarding implementation
+  // does) keeps resolution O(1) amortized and chains short.
+  std::vector<Gaddr> visited;
+  Gaddr current = addr;
+  for (int hops = 0; hops < 1024; ++hops) {
+    Gaddr next = current;
+    // One in-heap forwarding hop at a time so every waypoint is recorded.
+    if (store_->HasObjectAt(current)) {
+      const ObjectHeader* header = store_->HeaderOf(current);
+      if (header->forwarded()) {
+        next = header->forward;
+      }
+    }
+    if (next == current) {
+      auto it = stale_forward_.find(current);
+      if (it != stale_forward_.end()) {
+        next = it->second;
+      }
+    }
+    if (next == current && !store_->HasObjectAt(current)) {
+      // Local chain exhausted without bytes: jump forward to the directory's
+      // canonical address (backstop for eroded local chains; resolution must
+      // stay monotonic toward newer addresses).
+      Oid oid = directory_->OidAtAddress(current);
+      if (oid != kNullOid) {
+        Gaddr canonical = directory_->CanonicalAddressOf(oid);
+        if (canonical != kNullAddr && canonical != current) {
+          next = canonical;
+        }
+      }
+    }
+    if (next == current) {
+      // Fixed point: compress everything we walked through.
+      for (Gaddr waypoint : visited) {
+        if (store_->HasObjectAt(waypoint)) {
+          ObjectHeader* header = store_->HeaderOf(waypoint);
+          if (header->forwarded()) {
+            header->forward = current;
+            continue;
+          }
+        }
+        auto it = stale_forward_.find(waypoint);
+        if (it != stale_forward_.end()) {
+          it->second = current;
+        }
+      }
+      return current;
+    }
+    for (Gaddr seen : visited) {
+      if (seen == next) {
+        // Cycle in stale-forward records (conflicting out-of-order updates):
+        // break at the current fixed point; the DSM protocol will supply
+        // fresh bytes at the next synchronization anyway.
+        return current;
+      }
+    }
+    visited.push_back(current);
+    current = next;
+  }
+  BMX_CHECK(false) << "forwarding chain too long at addr " << addr;
+  return current;
+}
+
+Gaddr DsmNode::LocalCopyOf(Gaddr addr) const {
+  Gaddr resolved = ResolveAddr(addr);
+  if (store_->HasObjectAt(resolved)) {
+    return resolved;
+  }
+  // No bytes at the newest known address: fall back to wherever this node's
+  // own replica sits (possibly an older address — entry consistency permits
+  // reading it while a token is held).
+  Oid oid = OidAt(addr);
+  if (oid != kNullOid) {
+    Gaddr local = store_->AddrOfOid(oid);
+    if (local != kNullAddr) {
+      Gaddr local_resolved = store_->ResolveForward(local);
+      if (store_->HasObjectAt(local_resolved)) {
+        return local_resolved;
+      }
+    }
+  }
+  return resolved;
+}
+
+void DsmNode::AddStaleForward(Gaddr old_addr, Gaddr new_addr) {
+  if (old_addr != new_addr) {
+    stale_forward_[old_addr] = new_addr;
+  }
+}
+
+void DsmNode::AddStaleRouting(Gaddr addr, NodeId owner_hint) {
+  if (owner_hint != kInvalidNode && owner_hint != id_) {
+    stale_routing_[addr] = owner_hint;
+  }
+}
+
+Oid DsmNode::OidAt(Gaddr addr) const {
+  Gaddr resolved = ResolveAddr(addr);
+  if (store_->HasObjectAt(resolved)) {
+    return store_->HeaderOf(resolved)->oid;
+  }
+  // Local resolution exhausted: the directory knows every address the object
+  // ever occupied (DESIGN.md — the page-based original resolves this through
+  // its own mapped pages).
+  Oid oid = directory_->OidAtAddress(resolved);
+  if (oid == kNullOid) {
+    oid = directory_->OidAtAddress(addr);
+  }
+  return oid;
+}
+
+NodeId DsmNode::ProbableOwnerForAddr(Gaddr addr) const {
+  Oid oid = OidAt(addr);
+  if (oid != kNullOid) {
+    auto it = tokens_.find(oid);
+    if (it != tokens_.end() && it->second.owner_hint != kInvalidNode) {
+      return it->second.owner_hint;
+    }
+  }
+  auto routing = stale_routing_.find(ResolveAddr(addr));
+  if (routing != stale_routing_.end()) {
+    return routing->second;
+  }
+  NodeId creator = directory_->SegmentCreator(SegmentOf(addr));
+  if (creator != id_) {
+    return creator;
+  }
+  // Last resort: the directory's authoritative owner (never the fast path —
+  // requests normally route through the paper's ownerPtr/creator mechanisms,
+  // which in distributed copy-set mode lets nearby readers serve them).
+  if (oid != kNullOid) {
+    NodeId authoritative = directory_->OwnerOf(oid);
+    if (authoritative != kInvalidNode) {
+      return authoritative;
+    }
+  }
+  return creator;
+}
+
+void DsmNode::BeginAcquire(Gaddr addr, bool write, bool for_gc) {
+  BMX_CHECK(!wait_active_) << "node " << id_ << ": one outstanding acquire at a time";
+  wait_active_ = true;
+  wait_complete_ = false;
+  wait_addr_ = addr;
+  NodeId target = ProbableOwnerForAddr(addr);
+  if (target == id_) {
+    Oid oid = OidAt(addr);
+    if (oid != kNullOid) {
+      NodeId authoritative = directory_->OwnerOf(oid);
+      if (authoritative != kInvalidNode && authoritative != id_) {
+        target = authoritative;
+      }
+    }
+  }
+  if (target == id_ || target == kInvalidNode) {
+    // No route anywhere: the object was reclaimed at its owner and every
+    // registry entry is gone.  The address is dangling; fail the acquire.
+    stats_.unroutable_acquires++;
+    wait_active_ = false;
+    wait_complete_ = false;
+    return;
+  }
+  auto req = std::make_shared<AcquireRequestPayload>();
+  req->addr = ResolveAddr(addr);
+  req->write = write;
+  req->requester = id_;
+  req->for_gc = for_gc;
+  network_->Send(id_, target, std::move(req));
+}
+
+bool DsmNode::AcquireRead(Gaddr addr, bool for_gc) {
+  if (for_gc) {
+    stats_.gc_read_acquires++;
+  } else {
+    stats_.app_read_acquires++;
+  }
+  Gaddr resolved = ResolveAddr(addr);
+  Oid oid = OidAt(resolved);
+  if (oid != kNullOid) {
+    TokenInfo& t = InfoOf(oid);
+    // Fast path requires both a cached token AND local bytes: a from-space
+    // reclamation may have dropped the replica while the token stayed
+    // cached, in which case the object must be re-fetched.
+    if (t.state != TokenState::kNone && store_->HasObjectAt(LocalCopyOf(resolved))) {
+      t.held = true;
+      return true;
+    }
+  }
+  stats_.remote_acquires++;
+  BeginAcquire(resolved, /*write=*/false, for_gc);
+  network_->RunUntilIdle();
+  return wait_complete_;
+}
+
+bool DsmNode::AcquireWrite(Gaddr addr, bool for_gc) {
+  if (for_gc) {
+    stats_.gc_write_acquires++;
+  } else {
+    stats_.app_write_acquires++;
+  }
+  Gaddr resolved = ResolveAddr(addr);
+  Oid oid = OidAt(resolved);
+  if (oid != kNullOid) {
+    TokenInfo& t = InfoOf(oid);
+    if (t.owner) {
+      if (t.state == TokenState::kWrite && t.copyset.empty()) {
+        t.held = true;
+        return true;
+      }
+      BMX_CHECK(!t.held) << "release before upgrading a held token (node " << id_ << ")";
+      // Owner re-acquiring exclusivity: invalidate outstanding read copies,
+      // then upgrade in place.  No ownership transfer.
+      wait_active_ = true;
+      wait_complete_ = false;
+      pending_grants_[oid] = PendingGrant{id_, for_gc};
+      StartInvalidation(oid, kInvalidNode);
+      TryFinishInvalidation(oid);
+      network_->RunUntilIdle();
+      return wait_complete_;
+    }
+    BMX_CHECK(!(t.state == TokenState::kRead && t.held))
+        << "release the read token before acquiring for write (node " << id_ << ")";
+  }
+  stats_.remote_acquires++;
+  BeginAcquire(resolved, /*write=*/true, for_gc);
+  network_->RunUntilIdle();
+  return wait_complete_;
+}
+
+void DsmNode::Release(Gaddr addr) {
+  Oid oid = OidAt(addr);
+  BMX_CHECK_NE(oid, kNullOid) << "release of unknown object at " << addr;
+  TokenInfo& t = InfoOf(oid);
+  t.held = false;
+  TryFinishInvalidation(oid);
+  Redispatch(oid);
+}
+
+void DsmNode::RegisterNewObject(Oid oid, Gaddr addr, BunchId bunch) {
+  directory_->RecordOwner(oid, id_);
+  directory_->RecordObjectAddress(oid, addr);
+  TokenInfo& t = InfoOf(oid);
+  t.state = TokenState::kWrite;
+  t.owner = true;
+  t.held = false;
+  t.bunch = bunch;
+  store_->SetAddrOfOid(oid, addr);
+}
+
+void DsmNode::RecordLocalMove(Oid oid, Gaddr old_addr, Gaddr new_addr, BunchId bunch) {
+  move_history_[oid].push_back(AddressUpdate{oid, bunch, old_addr, new_addr});
+  store_->SetAddrOfOid(oid, new_addr);
+  // Only owners move objects; the new location is the canonical one.
+  directory_->RecordObjectAddress(oid, new_addr);
+}
+
+bool DsmNode::IsLocallyOwned(Oid oid) const {
+  auto it = tokens_.find(oid);
+  return it != tokens_.end() && it->second.owner;
+}
+
+TokenState DsmNode::StateOf(Oid oid) const {
+  auto it = tokens_.find(oid);
+  return it == tokens_.end() ? TokenState::kNone : it->second.state;
+}
+
+bool DsmNode::IsHeld(Oid oid) const {
+  auto it = tokens_.find(oid);
+  return it != tokens_.end() && it->second.held;
+}
+
+NodeId DsmNode::OwnerHint(Oid oid) const {
+  auto it = tokens_.find(oid);
+  if (it == tokens_.end()) {
+    return kInvalidNode;
+  }
+  return it->second.owner ? id_ : it->second.owner_hint;
+}
+
+BunchId DsmNode::BunchOf(Oid oid) const {
+  auto it = tokens_.find(oid);
+  return it == tokens_.end() ? kInvalidBunch : it->second.bunch;
+}
+
+const std::map<Oid, std::set<NodeId>>& DsmNode::EnteringFor(BunchId bunch) const {
+  auto it = entering_.find(bunch);
+  return it == entering_.end() ? kNoEntering : it->second;
+}
+
+void DsmNode::PruneEntering(BunchId bunch, Oid oid, NodeId from) {
+  auto bit = entering_.find(bunch);
+  if (bit == entering_.end()) {
+    return;
+  }
+  auto oit = bit->second.find(oid);
+  if (oit == bit->second.end()) {
+    return;
+  }
+  oit->second.erase(from);
+  if (oit->second.empty()) {
+    bit->second.erase(oit);
+  }
+}
+
+void DsmNode::AddEntering(BunchId bunch, Oid oid, NodeId from) {
+  if (from != id_) {
+    entering_[bunch][oid].insert(from);
+  }
+}
+
+void DsmNode::ForgetObject(Oid oid) {
+  auto it = tokens_.find(oid);
+  if (it != tokens_.end()) {
+    entering_[it->second.bunch].erase(oid);
+    tokens_.erase(it);
+  }
+  move_history_.erase(oid);
+  store_->ForgetOid(oid);
+}
+
+std::vector<AddressUpdate> DsmNode::BuildInvariant1Updates(Oid oid) const {
+  std::vector<AddressUpdate> out;
+  auto add_history = [&](Oid target) {
+    auto it = move_history_.find(target);
+    if (it == move_history_.end()) {
+      return;
+    }
+    out.insert(out.end(), it->second.begin(), it->second.end());
+  };
+  // The object's own moves...
+  add_history(oid);
+  // ...plus moves of every object it directly references (§5, invariant 1:
+  // "the new locations of the object being acquired and of every object
+  // directly referenced from it").
+  Gaddr addr = store_->AddrOfOid(oid);
+  if (addr == kNullAddr || !store_->HasObjectAt(addr)) {
+    return out;
+  }
+  const ObjectHeader* header = store_->HeaderOf(addr);
+  for (size_t i = 0; i < header->size_slots; ++i) {
+    if (!store_->SlotIsRef(addr, i)) {
+      continue;
+    }
+    Gaddr target = store_->ReadSlot(addr, i);
+    if (target == kNullAddr) {
+      continue;
+    }
+    Gaddr resolved = ResolveAddr(target);
+    if (store_->HasObjectAt(resolved)) {
+      add_history(store_->HeaderOf(resolved)->oid);
+    }
+  }
+  return out;
+}
+
+void DsmNode::HandleMessage(const Message& msg) {
+  switch (msg.payload->kind()) {
+    case MsgKind::kAcquireRequest:
+      HandleAcquire(msg);
+      break;
+    case MsgKind::kGrant:
+      HandleGrant(msg);
+      break;
+    case MsgKind::kInvalidate:
+      HandleInvalidate(msg);
+      break;
+    case MsgKind::kInvalidateAck:
+      HandleInvalidateAck(msg);
+      break;
+    case MsgKind::kObjectPush:
+      HandlePush(msg);
+      break;
+    default:
+      BMX_CHECK(false) << "DsmNode got unexpected message kind "
+                       << MsgKindName(msg.payload->kind());
+  }
+}
+
+void DsmNode::HandleAcquire(const Message& msg) {
+  const auto& req = static_cast<const AcquireRequestPayload&>(*msg.payload);
+  BMX_CHECK_LT(req.hops, 64u) << "ownerPtr forwarding chain too long";
+
+  Oid oid = OidAt(req.addr);
+
+  auto forward_to = [&](NodeId next) {
+    // Stale hint graphs can point back at us or run long; the BMX-server's
+    // owner registry is the rescue (standing in for the bounded-chain
+    // guarantee per-message path compression gives real Li-Hudak).
+    if ((next == id_ || next == kInvalidNode || req.hops >= 8) && oid != kNullOid) {
+      NodeId authoritative = directory_->OwnerOf(oid);
+      if (authoritative != kInvalidNode && authoritative != id_) {
+        next = authoritative;
+      }
+    }
+    if (next == id_ || next == kInvalidNode) {
+      // Dead end: the object no longer exists anywhere we can name.  Deny
+      // the request so the requester's acquire completes as a failure.
+      stats_.unroutable_acquires++;
+      auto denial = std::make_shared<GrantPayload>();
+      denial->denied = true;
+      denial->write = req.write;
+      network_->Send(id_, req.requester, std::move(denial));
+      return;
+    }
+    auto fwd = std::make_shared<AcquireRequestPayload>(req);
+    fwd->hops = req.hops + 1;
+    network_->Send(id_, next, std::move(fwd));
+  };
+
+  if (oid == kNullOid) {
+    // We know nothing about this object locally: try the routing tombstones
+    // left when a dead local replica was swept, then fall back to the
+    // creator of the segment the address lies in.
+    auto routing = stale_routing_.find(ResolveAddr(req.addr));
+    if (routing != stale_routing_.end()) {
+      forward_to(routing->second);
+      return;
+    }
+    forward_to(directory_->SegmentCreator(SegmentOf(req.addr)));
+    return;
+  }
+  TokenInfo& t = InfoOf(oid);
+
+  if (req.write) {
+    if (!t.owner) {
+      NodeId next = t.owner_hint != kInvalidNode ? t.owner_hint : ProbableOwnerForAddr(req.addr);
+      forward_to(next);
+      // Li-style path compression: the requester is about to become the
+      // owner, so every node on the forwarding path re-points its hint.
+      t.owner_hint = req.requester;
+      return;
+    }
+    if (t.held || pending_grants_.count(oid) > 0 || invalidations_.count(oid) > 0) {
+      Defer(oid, msg);
+      return;
+    }
+    StartWriteGrant(oid, req.requester, req.for_gc);
+    return;
+  }
+
+  // Read request.  A reader may only grant from its copy if it still has the
+  // bytes (a reclamation round can have dropped them while the token stayed
+  // cached).
+  Gaddr reader_bytes = LocalCopyOf(req.addr);
+  bool can_grant = t.owner || (mode_ == CopySetMode::kDistributed &&
+                               t.state != TokenState::kNone &&
+                               store_->HasObjectAt(reader_bytes));
+  if (!can_grant) {
+    NodeId next = t.owner_hint != kInvalidNode ? t.owner_hint : ProbableOwnerForAddr(req.addr);
+    forward_to(next);
+    return;
+  }
+  if ((t.held && t.state == TokenState::kWrite) || pending_grants_.count(oid) > 0 ||
+      invalidations_.count(oid) > 0) {
+    Defer(oid, msg);
+    return;
+  }
+  SendReadGrant(oid, req.requester, req.for_gc, reader_bytes);
+}
+
+void DsmNode::StartWriteGrant(Oid oid, NodeId requester, bool for_gc) {
+  pending_grants_[oid] = PendingGrant{requester, for_gc};
+  StartInvalidation(oid, kInvalidNode);
+  TryFinishInvalidation(oid);
+}
+
+void DsmNode::StartInvalidation(Oid oid, NodeId parent) {
+  TokenInfo& t = InfoOf(oid);
+  InvalProgress progress;
+  progress.parent = parent;
+  progress.awaiting = t.copyset.size();
+  invalidations_[oid] = progress;
+  for (NodeId child : t.copyset) {
+    auto inval = std::make_shared<InvalidatePayload>();
+    inval->oid = oid;
+    network_->Send(id_, child, std::move(inval));
+    stats_.invalidations_sent++;
+  }
+}
+
+void DsmNode::TryFinishInvalidation(Oid oid) {
+  auto it = invalidations_.find(oid);
+  if (it == invalidations_.end()) {
+    return;
+  }
+  if (it->second.awaiting > 0) {
+    return;
+  }
+  TokenInfo& t = InfoOf(oid);
+  bool initiated_here = it->second.parent == kInvalidNode;
+  if (!initiated_here && t.held) {
+    // A mutator is inside a critical section on our read copy; entry
+    // consistency lets it finish before the copy is pulled (ack on release).
+    return;
+  }
+  NodeId parent = it->second.parent;
+  invalidations_.erase(it);
+  t.copyset.clear();
+  if (!initiated_here) {
+    if (t.state != TokenState::kNone) {
+      t.state = TokenState::kNone;
+      stats_.read_copies_invalidated++;
+    }
+    auto ack = std::make_shared<InvalidateAckPayload>();
+    ack->oid = oid;
+    network_->Send(id_, parent, std::move(ack));
+    return;
+  }
+  FinishWriteGrant(oid);
+}
+
+void DsmNode::FinishWriteGrant(Oid oid) {
+  auto pg_it = pending_grants_.find(oid);
+  BMX_CHECK(pg_it != pending_grants_.end());
+  PendingGrant pg = pg_it->second;
+  pending_grants_.erase(pg_it);
+
+  TokenInfo& t = InfoOf(oid);
+  if (pg.requester == id_) {
+    // Local upgrade: owner regained exclusivity.
+    t.state = TokenState::kWrite;
+    t.held = true;
+    wait_complete_ = true;
+    wait_active_ = false;
+    Redispatch(oid);
+    return;
+  }
+
+  auto grant = std::make_shared<GrantPayload>();
+  grant->oid = oid;
+  grant->bunch = t.bunch;
+  grant->write = true;
+  grant->for_gc = pg.for_gc;
+  grant->granter_owner_hint = id_;
+  FillObjectBytes(oid, grant.get());
+
+  // The entering-ownerPtr set moves with ownership: the new owner must know
+  // every node holding a non-owned replica — that is also the list of nodes
+  // whose references need updating after a GC (§4.5).
+  auto& entering = entering_[t.bunch][oid];
+  entering.erase(pg.requester);
+  entering.insert(id_);  // we keep a (now inconsistent) replica
+  grant->entering_transfer = entering;
+  entering_[t.bunch].erase(oid);
+
+  grant->piggyback.updates = BuildInvariant1Updates(oid);
+  if (gc_hooks_ != nullptr) {
+    gc_hooks_->PrepareOwnershipTransfer(oid, t.bunch, pg.requester, &grant->piggyback);
+  }
+  stats_.piggyback_updates_sent += grant->piggyback.updates.size();
+  stats_.piggyback_ssp_requests_sent += grant->piggyback.intra_ssp_requests.size();
+
+  t.owner = false;
+  t.state = TokenState::kNone;
+  t.owner_hint = pg.requester;
+  NodeId requester = pg.requester;
+  stats_.grants_sent++;
+  network_->Send(id_, requester, std::move(grant));
+  Redispatch(oid);
+}
+
+void DsmNode::SendReadGrant(Oid oid, NodeId requester, bool for_gc, Gaddr byte_addr) {
+  TokenInfo& t = InfoOf(oid);
+  if (t.owner && t.state == TokenState::kWrite) {
+    t.state = TokenState::kRead;  // write token downgrades while readers exist
+  }
+  t.copyset.insert(requester);
+  entering_[t.bunch][oid].insert(requester);
+
+  auto grant = std::make_shared<GrantPayload>();
+  grant->oid = oid;
+  grant->bunch = t.bunch;
+  grant->write = false;
+  grant->for_gc = for_gc;
+  grant->granter_owner_hint = id_;
+  FillObjectBytes(oid, grant.get(), byte_addr);
+  grant->piggyback.updates = BuildInvariant1Updates(oid);
+  stats_.piggyback_updates_sent += grant->piggyback.updates.size();
+  stats_.grants_sent++;
+  network_->Send(id_, requester, std::move(grant));
+}
+
+void DsmNode::FillObjectBytes(Oid oid, GrantPayload* grant, Gaddr byte_addr) const {
+  Gaddr resolved = kNullAddr;
+  if (byte_addr != kNullAddr && store_->HasObjectAt(byte_addr)) {
+    resolved = byte_addr;
+  } else {
+    Gaddr addr = store_->AddrOfOid(oid);
+    BMX_CHECK_NE(addr, kNullAddr) << "granting object " << oid << " without local data";
+    resolved = LocalCopyOf(addr);
+  }
+  // Cycle-broken resolution can stop on a mid-chain forwarder; follow the
+  // in-heap chain to the actual bytes.
+  resolved = store_->ResolveForward(resolved);
+  BMX_CHECK(store_->HasObjectAt(resolved)) << "granting object " << oid << " without bytes";
+  const ObjectHeader* header = store_->HeaderOf(resolved);
+  BMX_CHECK(!header->forwarded());
+  grant->addr = resolved;
+  grant->header = *header;
+  grant->slots.resize(header->size_slots);
+  grant->slot_is_ref.resize(header->size_slots);
+  for (size_t i = 0; i < header->size_slots; ++i) {
+    grant->slots[i] = store_->ReadSlot(resolved, i);
+    grant->slot_is_ref[i] = store_->SlotIsRef(resolved, i) ? 1 : 0;
+  }
+}
+
+void DsmNode::HandleGrant(const Message& msg) {
+  const auto& grant = static_cast<const GrantPayload&>(*msg.payload);
+  if (grant.denied) {
+    // The object is gone everywhere: the acquire fails (dangling address).
+    wait_complete_ = false;
+    wait_active_ = false;
+    wait_addr_ = kNullAddr;
+    return;
+  }
+  InstallObjectBytes(grant.oid, grant.bunch, grant.addr, grant.header, grant.slots,
+                     grant.slot_is_ref);
+  TokenInfo& t = InfoOf(grant.oid);
+  t.bunch = grant.bunch;
+  if (grant.write) {
+    directory_->RecordOwner(grant.oid, id_);
+    t.state = TokenState::kWrite;
+    t.owner = true;
+    t.held = true;
+    t.owner_hint = kInvalidNode;
+    t.copyset.clear();
+    entering_[grant.bunch][grant.oid] = grant.entering_transfer;
+    if (grant.entering_transfer.empty()) {
+      entering_[grant.bunch].erase(grant.oid);
+    }
+  } else {
+    t.state = TokenState::kRead;
+    t.owner = false;
+    t.owner_hint = grant.granter_owner_hint;
+    t.held = true;
+  }
+  ApplyAddressUpdates(grant.piggyback.updates, msg.src);
+  if (gc_hooks_ != nullptr) {
+    for (const IntraSspRequest& request : grant.piggyback.intra_ssp_requests) {
+      gc_hooks_->CreateIntraStub(request);
+    }
+    for (const InterStubTemplate& stub_template : grant.piggyback.replicated_stubs) {
+      gc_hooks_->InstallReplicatedStub(stub_template);
+    }
+  }
+  // Figure 3, case (d): if an object referenced by the granted object was
+  // copied to to-space *here* before the acquire, rewrite the incoming
+  // references to point at the to-space copy directly.
+  for (size_t i = 0; i < grant.header.size_slots; ++i) {
+    if (i >= grant.slot_is_ref.size() || grant.slot_is_ref[i] == 0) {
+      continue;
+    }
+    Gaddr value = store_->ReadSlot(grant.addr, i);
+    if (value == kNullAddr) {
+      continue;
+    }
+    Gaddr resolved = ResolveAddr(value);
+    if (resolved != value) {
+      store_->WriteSlot(grant.addr, i, resolved);
+    }
+  }
+  // Invariant 1: the address the acquire named must be valid here — bridge
+  // it to the granted location if local resolution cannot reach it yet.
+  if (wait_active_ && wait_addr_ != kNullAddr) {
+    Gaddr reached = ResolveAddr(wait_addr_);
+    if (reached != grant.addr && !store_->HasObjectAt(reached)) {
+      AddStaleForward(reached, grant.addr);
+    }
+    wait_addr_ = kNullAddr;
+  }
+  wait_complete_ = true;
+  wait_active_ = false;
+  Redispatch(grant.oid);
+}
+
+void DsmNode::HandleInvalidate(const Message& msg) {
+  const auto& inval = static_cast<const InvalidatePayload&>(*msg.payload);
+  Oid oid = inval.oid;
+  auto existing = tokens_.find(oid);
+  if (existing == tokens_.end()) {
+    // We already dropped every trace of this object (replica swept); ack
+    // without resurrecting a hintless token entry.
+    auto ack = std::make_shared<InvalidateAckPayload>();
+    ack->oid = oid;
+    network_->Send(id_, msg.src, std::move(ack));
+    return;
+  }
+  TokenInfo& t = existing->second;
+  if (t.state == TokenState::kNone && t.copyset.empty()) {
+    auto ack = std::make_shared<InvalidateAckPayload>();
+    ack->oid = oid;
+    network_->Send(id_, msg.src, std::move(ack));
+    return;
+  }
+  StartInvalidation(oid, msg.src);
+  TryFinishInvalidation(oid);
+}
+
+void DsmNode::HandleInvalidateAck(const Message& msg) {
+  const auto& ack = static_cast<const InvalidateAckPayload&>(*msg.payload);
+  auto it = invalidations_.find(ack.oid);
+  BMX_CHECK(it != invalidations_.end()) << "stray invalidate ack for oid " << ack.oid;
+  BMX_CHECK_GT(it->second.awaiting, 0u);
+  it->second.awaiting--;
+  TryFinishInvalidation(ack.oid);
+}
+
+void DsmNode::HandlePush(const Message& msg) {
+  const auto& push = static_cast<const ObjectPushPayload&>(*msg.payload);
+  if (push.has_object) {
+    InstallObjectBytes(push.oid, push.bunch, push.addr, push.header, push.slots,
+                       push.slot_is_ref);
+    TokenInfo& t = InfoOf(push.oid);
+    t.bunch = push.bunch;
+    if (t.owner_hint == kInvalidNode && !t.owner) {
+      t.owner_hint = msg.src;
+    }
+  }
+  ApplyAddressUpdates(push.piggyback.updates, msg.src);
+  if (gc_hooks_ != nullptr) {
+    for (const IntraSspRequest& request : push.piggyback.intra_ssp_requests) {
+      gc_hooks_->CreateIntraStub(request);
+    }
+    for (const InterStubTemplate& stub_template : push.piggyback.replicated_stubs) {
+      gc_hooks_->InstallReplicatedStub(stub_template);
+    }
+  }
+}
+
+void DsmNode::InstallObjectBytes(Oid oid, BunchId bunch, Gaddr addr, const ObjectHeader& header,
+                                 const std::vector<uint64_t>& slots,
+                                 const std::vector<uint8_t>& slot_is_ref) {
+  // Receiving bytes of a bunch's object makes this node a replica holder:
+  // reachability tables and eager-update broadcasts must reach it.
+  directory_->NoteMapped(bunch, id_);
+  SegmentImage& image = store_->GetOrCreate(SegmentOf(addr), bunch);
+  ObjectHeader h = header;
+  h.flags &= ~kObjFlagForwarded;
+  h.forward = kNullAddr;
+  image.InstallObject(addr, h, slots.empty() ? nullptr : slots.data());
+  size_t first_slot = image.SlotIndexOf(addr);
+  for (size_t i = 0; i < slot_is_ref.size(); ++i) {
+    if (slot_is_ref[i] != 0) {
+      image.ref_map().Set(first_slot + i);
+    } else {
+      image.ref_map().Clear(first_slot + i);
+    }
+  }
+  // If we previously knew the object at a different address, leave a local
+  // forwarding header there so stale local references still resolve.
+  Gaddr prior = store_->AddrOfOid(oid);
+  if (prior != kNullAddr && prior != addr && store_->HasObjectAt(prior)) {
+    ObjectHeader* old_header = store_->HeaderOf(prior);
+    if (!old_header->forwarded()) {
+      old_header->flags |= kObjFlagForwarded;
+      old_header->forward = addr;
+    }
+  }
+  store_->SetAddrOfOid(oid, addr);
+}
+
+void DsmNode::ApplyAddressUpdates(const std::vector<AddressUpdate>& updates, NodeId from) {
+  for (const AddressUpdate& update : updates) {
+    ApplyOneAddressUpdate(update);
+  }
+  // Invariant 2: a node that receives new-location information forwards it to
+  // every node in its local copy-set for the object.
+  std::map<NodeId, std::vector<AddressUpdate>> fanout;
+  for (const AddressUpdate& update : updates) {
+    auto it = tokens_.find(update.oid);
+    if (it == tokens_.end()) {
+      continue;
+    }
+    for (NodeId child : it->second.copyset) {
+      if (child != from) {
+        fanout[child].push_back(update);
+      }
+    }
+  }
+  for (auto& [child, list] : fanout) {
+    auto push = std::make_shared<ObjectPushPayload>();
+    push->piggyback.updates = std::move(list);
+    stats_.pushes_sent++;
+    network_->Send(id_, child, std::move(push));
+  }
+}
+
+void DsmNode::ApplyOneAddressUpdate(const AddressUpdate& update) {
+  // An object's moves are scattered across its successive owners; every node
+  // that hears of a move remembers it, so the full address chain accumulates
+  // along ownership transfers and future grants can resolve arbitrarily old
+  // addresses (invariant 1 for requesters that synchronized long ago).
+  auto& history = move_history_[update.oid];
+  bool seen = false;
+  for (const AddressUpdate& entry : history) {
+    if (entry.old_addr == update.old_addr) {
+      seen = true;
+      break;
+    }
+  }
+  if (!seen) {
+    history.push_back(update);
+  }
+  // An owner is authoritative for its own objects' locations: updates about
+  // them are echoes of old moves and must not disturb the oid map or bytes —
+  // but old *addresses* must still resolve to the canonical copy here.
+  if (IsLocallyOwned(update.oid)) {
+    Gaddr canonical = store_->AddrOfOid(update.oid);
+    if (canonical != kNullAddr) {
+      Gaddr from = ResolveAddr(update.old_addr);
+      Gaddr to = ResolveAddr(canonical);
+      if (from != to && !store_->HasObjectAt(from)) {
+        AddStaleForward(from, to);
+      }
+    }
+    return;
+  }
+  // Updates can arrive out of order (different senders know different
+  // prefixes of the object's move history).  The directory's canonical
+  // address is the authoritative present: byte relocation and the oid map
+  // always aim there, so a stale echo can never resurrect old state — it
+  // merely contributes an address-resolution edge.
+  Gaddr target = ResolveAddr(update.new_addr);
+  Gaddr dir_canonical = directory_->CanonicalAddressOf(update.oid);
+  if (dir_canonical != kNullAddr) {
+    target = dir_canonical;
+  }
+  Gaddr known = store_->AddrOfOid(update.oid);
+  if (known != kNullAddr && ResolveAddr(known) == target) {
+    // Already current — but still make sure the old *address* resolves here,
+    // so stale addresses read from other objects keep working.
+    if (ResolveAddr(update.old_addr) != target &&
+        !store_->HasObjectAt(ResolveAddr(update.old_addr))) {
+      AddStaleForward(update.old_addr, target);
+    }
+    return;
+  }
+  stats_.address_updates_applied++;
+  Gaddr src = store_->ResolveForward(update.old_addr);
+  if (src != target && store_->HasObjectAt(src)) {
+    // We hold a local replica at the old location: relocate our bytes (the
+    // data stays whatever the consistency protocol last told us — possibly
+    // stale, which entry consistency permits) and leave a forwarding header.
+    store_->GetOrCreate(SegmentOf(target), update.bunch);
+    store_->CopyObjectBytes(src, target);
+    ObjectHeader* old_header = store_->HeaderOf(src);
+    old_header->flags |= kObjFlagForwarded;
+    old_header->forward = target;
+    store_->SetAddrOfOid(update.oid, target);
+  } else if (src != target) {
+    // No local bytes at the old address: remember the mapping so the stale
+    // address still resolves on this node.  The oid map is left alone — it
+    // tracks where this node's *bytes* are (the directory tracks canonical
+    // locations), and repointing it at a byte-less address would hide our
+    // own replica from the local tracer.
+    AddStaleForward(src, target);
+  }
+  auto it = tokens_.find(update.oid);
+  if (it != tokens_.end()) {
+    it->second.bunch = update.bunch;
+  }
+  if (gc_hooks_ != nullptr) {
+    gc_hooks_->OnAddressUpdate(update);
+  }
+}
+
+void DsmNode::PushObject(NodeId dst, Oid oid, const Piggyback& piggyback) {
+  auto push = std::make_shared<ObjectPushPayload>();
+  push->oid = oid;
+  push->bunch = BunchOf(oid);
+  push->has_object = true;
+  GrantPayload scratch;
+  FillObjectBytes(oid, &scratch);
+  push->addr = scratch.addr;
+  push->header = scratch.header;
+  push->slots = std::move(scratch.slots);
+  push->slot_is_ref = std::move(scratch.slot_is_ref);
+  push->piggyback = piggyback;
+  stats_.pushes_sent++;
+  network_->Send(id_, dst, std::move(push));
+}
+
+void DsmNode::Defer(Oid oid, const Message& msg) { deferred_[oid].push_back(msg); }
+
+void DsmNode::Redispatch(Oid oid) {
+  auto it = deferred_.find(oid);
+  if (it == deferred_.end()) {
+    return;
+  }
+  std::vector<Message> queue = std::move(it->second);
+  deferred_.erase(it);
+  for (const Message& msg : queue) {
+    HandleMessage(msg);
+  }
+}
+
+}  // namespace bmx

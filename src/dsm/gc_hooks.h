@@ -1,0 +1,47 @@
+// Interface through which the DSM layer consults the garbage collector while
+// assembling token grants.
+//
+// The dependency is one-way by design: the collector never calls *into* the
+// token machinery (it "acquires neither a read nor a write token", paper
+// §10), but the token machinery gives the collector a ride — address updates
+// and intra-bunch SSP requests are piggybacked on grants (invariants 1 and 3
+// of §5).
+
+#ifndef SRC_DSM_GC_HOOKS_H_
+#define SRC_DSM_GC_HOOKS_H_
+
+#include "src/common/types.h"
+#include "src/dsm/piggyback.h"
+
+namespace bmx {
+
+class DsmGcHooks {
+ public:
+  virtual ~DsmGcHooks() = default;
+
+  // Invariant 3: called by the owner before a write grant of `oid` completes.
+  // If this node holds inter-bunch stubs (or an intra-bunch stub) for the
+  // object, it appends whatever the transfer policy requires to the grant's
+  // piggyback — an intra-bunch SSP request (the paper's design, creating the
+  // local intra-bunch scion as a side effect) or replicated inter-bunch stub
+  // templates (the §3.2 alternative, kept for the ablation study).
+  virtual void PrepareOwnershipTransfer(Oid oid, BunchId bunch, NodeId new_owner,
+                                        Piggyback* piggyback) = 0;
+
+  // Creates the intra-bunch stub at the new owner (receipt of the request
+  // piggybacked on the write grant).
+  virtual void CreateIntraStub(const IntraSspRequest& request) = 0;
+
+  // Installs a replicated inter-bunch stub at the new owner (ablation mode):
+  // assigns a fresh stub id and creates or solicits the matching scion.
+  virtual void InstallReplicatedStub(const InterStubTemplate& stub_template) = 0;
+
+  // Called whenever this node learns a new location for an object (piggyback
+  // or address-change message), so the collector can refresh the target
+  // addresses recorded in its stub and scion tables.
+  virtual void OnAddressUpdate(const AddressUpdate& update) = 0;
+};
+
+}  // namespace bmx
+
+#endif  // SRC_DSM_GC_HOOKS_H_

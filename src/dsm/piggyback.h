@@ -1,0 +1,70 @@
+// GC information that rides on DSM consistency messages ("piggy-backing",
+// paper §3.2, §4.4, §5).
+//
+// The central trick of the paper: the collector never sends its own messages
+// on the critical path.  New object locations (after an asynchronous BGC) and
+// intra-bunch SSP creation requests travel inside the replies to token
+// acquires that applications perform anyway, which is how invariants 1 and 3
+// of §5 are maintained "without incurring in extra communication overhead".
+
+#ifndef SRC_DSM_PIGGYBACK_H_
+#define SRC_DSM_PIGGYBACK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace bmx {
+
+// "Object with oid moved from old_addr to new_addr."  Receivers holding a
+// local copy at old_addr relocate their bytes and leave a local forwarding
+// header; receivers without one just learn the new location.
+struct AddressUpdate {
+  Oid oid = kNullOid;
+  BunchId bunch = kInvalidBunch;
+  Gaddr old_addr = kNullAddr;
+  Gaddr new_addr = kNullAddr;
+};
+
+// "Create an intra-bunch stub for `oid` pointing at the intra-bunch scion on
+// `scion_node`."  Sent by an old owner to the new owner inside the write
+// grant (invariant 3, §5): the intra-bunch SSP is the forwarding link from
+// the new owner to the inter-bunch stubs left at previous owners.
+struct IntraSspRequest {
+  Oid oid = kNullOid;
+  BunchId bunch = kInvalidBunch;
+  NodeId scion_node = kInvalidNode;
+};
+
+// Template for replicating an inter-bunch stub at a new owner — the §3.2
+// *alternative* to intra-bunch SSPs, implemented for the ablation study.
+// The receiver assigns a fresh stub id and creates/solicits the scion.
+struct InterStubTemplate {
+  Oid src_oid = kNullOid;
+  uint32_t slot = 0;
+  BunchId src_bunch = kInvalidBunch;
+  Gaddr target_addr = kNullAddr;
+  BunchId target_bunch = kInvalidBunch;
+};
+
+struct Piggyback {
+  std::vector<AddressUpdate> updates;
+  std::vector<IntraSspRequest> intra_ssp_requests;
+  std::vector<InterStubTemplate> replicated_stubs;
+
+  bool Empty() const {
+    return updates.empty() && intra_ssp_requests.empty() && replicated_stubs.empty();
+  }
+
+  size_t WireSize() const {
+    // oid + bunch + two addresses per update; oid + bunch + node per request;
+    // full descriptor per replicated stub.
+    return updates.size() * 28 + intra_ssp_requests.size() * 16 +
+           replicated_stubs.size() * 28;
+  }
+};
+
+}  // namespace bmx
+
+#endif  // SRC_DSM_PIGGYBACK_H_

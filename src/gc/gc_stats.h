@@ -1,0 +1,52 @@
+// Counters the tests and benchmark harness read.  Several of the paper's
+// claims are statements about these staying zero (the BGC acquires no tokens,
+// sends no messages of its own during collection).
+
+#ifndef SRC_GC_GC_STATS_H_
+#define SRC_GC_GC_STATS_H_
+
+#include <cstdint>
+
+namespace bmx {
+
+struct GcStats {
+  // Collections.
+  uint64_t bgc_runs = 0;
+  uint64_t ggc_runs = 0;
+  uint64_t objects_copied = 0;
+  uint64_t objects_scanned = 0;   // live non-owned objects scanned in place
+  uint64_t objects_reclaimed = 0;
+  uint64_t bytes_copied = 0;
+  uint64_t bytes_reclaimed = 0;
+  uint64_t refs_updated_locally = 0;
+
+  // Write barrier (§3.2).
+  uint64_t barrier_writes = 0;
+  uint64_t barrier_inter_bunch = 0;
+
+  // SSP lifecycle.
+  uint64_t inter_stubs_created = 0;
+  uint64_t intra_stubs_created = 0;
+  uint64_t inter_scions_created = 0;
+  uint64_t intra_scions_created = 0;
+  uint64_t inter_scions_deleted = 0;
+  uint64_t intra_scions_deleted = 0;
+  uint64_t entering_pruned = 0;
+  uint64_t scion_messages_sent = 0;
+
+  // Scion cleaner (§6).
+  uint64_t table_messages_sent = 0;
+  uint64_t tables_processed = 0;
+  uint64_t tables_ignored_stale = 0;
+  uint64_t tables_deferred = 0;
+
+  // From-space reclamation (§4.5).
+  uint64_t reclaim_rounds = 0;
+  uint64_t copy_requests_sent = 0;
+  uint64_t address_change_messages = 0;
+  uint64_t segments_freed = 0;
+};
+
+}  // namespace bmx
+
+#endif  // SRC_GC_GC_STATS_H_

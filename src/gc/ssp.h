@@ -1,0 +1,72 @@
+// Stub-scion pairs (SSPs), paper §3.1.
+//
+// Every cached copy of a bunch carries a stub table (outgoing links) and a
+// scion table (incoming links), so that a bunch replica can make all
+// reachability decisions for its objects without consulting any other bunch
+// or any other copy of the same bunch.  Unlike RPC-system SSPs, these are
+// pure bookkeeping: no indirection, no marshaling.
+//
+// Two kinds:
+//   * inter-bunch SSPs describe references that cross bunch boundaries; they
+//     point in the same direction as the reference and exist only at the node
+//     that *created* the reference (a single SSP keeps the target alive for
+//     the whole system);
+//   * intra-bunch SSPs record dependencies between copies of the same bunch:
+//     they run opposite to the ownerPtr, from the current owner of an object
+//     to a previous owner that still holds inter-bunch stubs for it.
+
+#ifndef SRC_GC_SSP_H_
+#define SRC_GC_SSP_H_
+
+#include <cstdint>
+
+#include "src/common/types.h"
+
+namespace bmx {
+
+// Outgoing cross-bunch reference: object `src_oid` (slot `slot`) in
+// `src_bunch` points at the object at `target_addr` in `target_bunch`.  The
+// matching inter-bunch scion lives on `scion_node`.
+struct InterStub {
+  uint64_t id = 0;  // unique per creating node; scions match on it
+  Oid src_oid = kNullOid;
+  uint32_t slot = 0;
+  BunchId src_bunch = kInvalidBunch;
+  Gaddr target_addr = kNullAddr;
+  BunchId target_bunch = kInvalidBunch;
+  NodeId scion_node = kInvalidNode;
+};
+
+// Incoming cross-bunch reference: the object at local `target_addr` is
+// referenced from bunch `src_bunch` on node `src_node` (stub `stub_id`).
+// Inter-bunch scions are BGC roots.
+struct InterScion {
+  uint64_t stub_id = 0;
+  NodeId src_node = kInvalidNode;
+  BunchId src_bunch = kInvalidBunch;
+  Gaddr target_addr = kNullAddr;
+};
+
+// Intra-bunch stub, held at the owner (or a later owner) of `oid`: the
+// replica of `oid` on `scion_node` must stay alive because that node holds
+// inter-bunch stubs created when it owned the object.
+struct IntraStub {
+  Oid oid = kNullOid;
+  BunchId bunch = kInvalidBunch;
+  NodeId scion_node = kInvalidNode;
+};
+
+// Intra-bunch scion, held at a previous owner: keeps the local replica of
+// `oid` alive (it anchors inter-bunch stubs).  The matching intra-bunch stub
+// lives on `stub_node`.  Intra-bunch scions are *weak* BGC roots: objects
+// reachable only through them stay alive but contribute no exiting ownerPtr,
+// which is what breaks the ownerPtr/SSP cycle of Figure 4 (§6.2).
+struct IntraScion {
+  Oid oid = kNullOid;
+  BunchId bunch = kInvalidBunch;
+  NodeId stub_node = kInvalidNode;
+};
+
+}  // namespace bmx
+
+#endif  // SRC_GC_SSP_H_

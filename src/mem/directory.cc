@@ -1,0 +1,97 @@
+#include "src/mem/directory.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace bmx {
+
+BunchId SegmentDirectory::CreateBunch(NodeId creator) {
+  BunchId id = next_bunch_++;
+  bunches_[id].creator = creator;
+  return id;
+}
+
+SegmentId SegmentDirectory::AllocateSegment(BunchId bunch, NodeId creator) {
+  auto it = bunches_.find(bunch);
+  BMX_CHECK(it != bunches_.end()) << "unknown bunch " << bunch;
+  SegmentId seg = next_segment_++;
+  segments_[seg] = SegmentInfo{bunch, creator};
+  it->second.segments.push_back(seg);
+  return seg;
+}
+
+BunchId SegmentDirectory::BunchOfSegment(SegmentId seg) const {
+  auto it = segments_.find(seg);
+  BMX_CHECK(it != segments_.end()) << "unknown segment " << seg;
+  return it->second.bunch;
+}
+
+NodeId SegmentDirectory::SegmentCreator(SegmentId seg) const {
+  auto it = segments_.find(seg);
+  BMX_CHECK(it != segments_.end()) << "unknown segment " << seg;
+  return it->second.creator;
+}
+
+NodeId SegmentDirectory::BunchCreator(BunchId bunch) const {
+  auto it = bunches_.find(bunch);
+  BMX_CHECK(it != bunches_.end()) << "unknown bunch " << bunch;
+  return it->second.creator;
+}
+
+const std::vector<SegmentId>& SegmentDirectory::SegmentsOfBunch(BunchId bunch) const {
+  auto it = bunches_.find(bunch);
+  BMX_CHECK(it != bunches_.end()) << "unknown bunch " << bunch;
+  return it->second.segments;
+}
+
+void SegmentDirectory::RetireSegment(SegmentId seg) {
+  auto it = segments_.find(seg);
+  BMX_CHECK(it != segments_.end()) << "unknown segment " << seg;
+  auto& segs = bunches_.at(it->second.bunch).segments;
+  segs.erase(std::remove(segs.begin(), segs.end(), seg), segs.end());
+  it->second.retired = true;
+}
+
+bool SegmentDirectory::IsRetired(SegmentId seg) const {
+  auto it = segments_.find(seg);
+  BMX_CHECK(it != segments_.end()) << "unknown segment " << seg;
+  return it->second.retired;
+}
+
+void SegmentDirectory::NoteMapped(BunchId bunch, NodeId node) {
+  auto it = bunches_.find(bunch);
+  BMX_CHECK(it != bunches_.end()) << "unknown bunch " << bunch;
+  it->second.mappers.insert(node);
+}
+
+void SegmentDirectory::NoteUnmapped(BunchId bunch, NodeId node) {
+  auto it = bunches_.find(bunch);
+  BMX_CHECK(it != bunches_.end()) << "unknown bunch " << bunch;
+  it->second.mappers.erase(node);
+}
+
+const std::set<NodeId>& SegmentDirectory::MappersOf(BunchId bunch) const {
+  auto it = bunches_.find(bunch);
+  BMX_CHECK(it != bunches_.end()) << "unknown bunch " << bunch;
+  return it->second.mappers;
+}
+
+bool SegmentDirectory::IsMappedAt(BunchId bunch, NodeId node) const {
+  auto it = bunches_.find(bunch);
+  if (it == bunches_.end()) {
+    return false;
+  }
+  return it->second.mappers.count(node) > 0;
+}
+
+std::vector<BunchId> SegmentDirectory::AllBunches() const {
+  std::vector<BunchId> out;
+  out.reserve(bunches_.size());
+  for (const auto& [id, info] : bunches_) {
+    out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace bmx

@@ -1,0 +1,118 @@
+// Global segment directory — the role the BMX-server plays in the prototype
+// (paper §8): "A BMX-server runs on every node in the system and provides
+// basic services, such as allocation of non-overlapping segments."
+//
+// The directory is the authority for: fresh segment addresses, fresh bunch
+// ids, fresh object ids, segment→bunch membership, the creator node of each
+// segment/bunch, and which nodes currently have each bunch mapped.  In a real
+// deployment this state is itself replicated between the per-node servers;
+// here it is a single shared structure, which the simulation may consult
+// without message cost only for operations the paper assigns to the local
+// BMX-server.
+
+#ifndef SRC_MEM_DIRECTORY_H_
+#define SRC_MEM_DIRECTORY_H_
+
+#include <iterator>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace bmx {
+
+class SegmentDirectory {
+ public:
+  SegmentDirectory() = default;
+
+  BunchId CreateBunch(NodeId creator);
+  SegmentId AllocateSegment(BunchId bunch, NodeId creator);
+  Oid NextOid() { return next_oid_++; }
+
+  bool BunchExists(BunchId bunch) const { return bunches_.count(bunch) > 0; }
+  BunchId BunchOfSegment(SegmentId seg) const;
+  NodeId SegmentCreator(SegmentId seg) const;
+  NodeId BunchCreator(BunchId bunch) const;
+  const std::vector<SegmentId>& SegmentsOfBunch(BunchId bunch) const;
+
+  // Removes a segment from its bunch (after from-space reclamation frees it,
+  // paper §4.5).  The address range is never reissued; a tombstone keeps
+  // bunch/creator lookups working for nodes still holding stale images.
+  void RetireSegment(SegmentId seg);
+  bool IsRetired(SegmentId seg) const;
+
+  // Authoritative object-location/owner registry — the BMX-server's
+  // knowledge.  In the paper's page-based DSM every node of a mapped bunch
+  // can resolve any address through its own (possibly stale) pages; this
+  // byte-lazy simulation instead lets per-node resolution state erode, so
+  // the directory keeps the ground truth as a routing *backstop*.  The
+  // per-node mechanisms — in-heap forwarders, piggybacked address updates,
+  // ownerPtr chains with Li-style compression — remain the fast path and are
+  // what the tests and benchmarks measure.
+  void RecordOwner(Oid oid, NodeId owner) { owners_[oid] = owner; }
+  NodeId OwnerOf(Oid oid) const {
+    auto it = owners_.find(oid);
+    return it == owners_.end() ? kInvalidNode : it->second;
+  }
+  void ForgetOwner(Oid oid) { owners_.erase(oid); }
+
+  // Every global address an object has ever occupied maps to its oid; the
+  // oid maps to its current canonical address (owner's copy).
+  void RecordObjectAddress(Oid oid, Gaddr addr) {
+    addr_to_oid_[addr] = oid;
+    oid_to_addr_[oid] = addr;
+  }
+  Oid OidAtAddress(Gaddr addr) const {
+    auto it = addr_to_oid_.find(addr);
+    return it == addr_to_oid_.end() ? kNullOid : it->second;
+  }
+  Gaddr CanonicalAddressOf(Oid oid) const {
+    auto it = oid_to_addr_.find(oid);
+    return it == oid_to_addr_.end() ? kNullAddr : it->second;
+  }
+  void ForgetObjectAddresses(Oid oid) {
+    // Called when an object is reclaimed at its owner (globally dead).
+    auto it = oid_to_addr_.find(oid);
+    if (it != oid_to_addr_.end()) {
+      oid_to_addr_.erase(it);
+    }
+    for (auto a = addr_to_oid_.begin(); a != addr_to_oid_.end();) {
+      a = a->second == oid ? addr_to_oid_.erase(a) : std::next(a);
+    }
+    owners_.erase(oid);
+  }
+
+  void NoteMapped(BunchId bunch, NodeId node);
+  void NoteUnmapped(BunchId bunch, NodeId node);
+  const std::set<NodeId>& MappersOf(BunchId bunch) const;
+  bool IsMappedAt(BunchId bunch, NodeId node) const;
+
+  std::vector<BunchId> AllBunches() const;
+
+ private:
+  struct BunchInfo {
+    NodeId creator = kInvalidNode;
+    std::vector<SegmentId> segments;
+    std::set<NodeId> mappers;
+  };
+  struct SegmentInfo {
+    BunchId bunch = kInvalidBunch;
+    NodeId creator = kInvalidNode;
+    bool retired = false;
+  };
+
+  BunchId next_bunch_ = 1;
+  // Segment 0 is reserved so that global address 0 is never a valid slot.
+  SegmentId next_segment_ = 1;
+  Oid next_oid_ = 1;
+  std::map<BunchId, BunchInfo> bunches_;
+  std::map<SegmentId, SegmentInfo> segments_;
+  std::map<Oid, NodeId> owners_;
+  std::map<Gaddr, Oid> addr_to_oid_;
+  std::map<Oid, Gaddr> oid_to_addr_;
+};
+
+}  // namespace bmx
+
+#endif  // SRC_MEM_DIRECTORY_H_

@@ -1,0 +1,81 @@
+// Per-node heap: the set of segment images this node has mapped, plus the
+// node's view of where each object currently lives.
+//
+// Different nodes legitimately see the same object at different addresses
+// after an asynchronous BGC (paper §4.2): the old address keeps a forwarding
+// header until every reference is updated.  ResolveForward() implements the
+// local half of that contract; the oid→address table is this node's lazily
+// updated knowledge of new locations (fed by piggybacked address updates).
+
+#ifndef SRC_MEM_REPLICA_STORE_H_
+#define SRC_MEM_REPLICA_STORE_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/mem/object.h"
+#include "src/mem/segment.h"
+
+namespace bmx {
+
+class ReplicaStore {
+ public:
+  bool HasSegment(SegmentId seg) const { return segments_.count(seg) > 0; }
+
+  SegmentImage* Find(SegmentId seg) {
+    auto it = segments_.find(seg);
+    return it == segments_.end() ? nullptr : it->second.get();
+  }
+  const SegmentImage* Find(SegmentId seg) const {
+    auto it = segments_.find(seg);
+    return it == segments_.end() ? nullptr : it->second.get();
+  }
+
+  SegmentImage& GetOrCreate(SegmentId seg, BunchId bunch);
+  void Drop(SegmentId seg);
+
+  // Segment image containing `addr`, or nullptr if unmapped locally.
+  SegmentImage* SegmentFor(Gaddr addr) { return Find(SegmentOf(addr)); }
+  const SegmentImage* SegmentFor(Gaddr addr) const { return Find(SegmentOf(addr)); }
+
+  // Header of the object at `obj_addr`; nullptr when its segment is unmapped.
+  ObjectHeader* HeaderOf(Gaddr obj_addr);
+  const ObjectHeader* HeaderOf(Gaddr obj_addr) const;
+
+  // Follows locally visible forwarding headers to the most current address
+  // this node knows for the object nominally at `addr`.
+  Gaddr ResolveForward(Gaddr addr) const;
+
+  // True if a mapped segment's object-map confirms an object header for data
+  // address `addr` (forwarders count: their headers stay in the object-map).
+  bool HasObjectAt(Gaddr addr) const;
+
+  // Raw slot access (no barrier, no token check — callers layer those).
+  uint64_t ReadSlot(Gaddr obj_addr, size_t slot) const;
+  void WriteSlot(Gaddr obj_addr, size_t slot, uint64_t value);
+  bool SlotIsRef(Gaddr obj_addr, size_t slot) const;
+  void SetSlotIsRef(Gaddr obj_addr, size_t slot, bool is_ref);
+
+  // This node's current address for an object id; kNullAddr when unknown.
+  Gaddr AddrOfOid(Oid oid) const;
+  const std::map<Oid, Gaddr>& oid_addresses() const { return oid_addr_; }
+  void SetAddrOfOid(Oid oid, Gaddr addr);
+  void ForgetOid(Oid oid);
+
+  std::vector<SegmentId> SegmentsOfBunch(BunchId bunch) const;
+  std::vector<SegmentId> AllSegments() const;
+
+  // Copies the full object (header + slots + ref-map bits) from a mapped
+  // source address to a destination address whose segment must be mapped.
+  void CopyObjectBytes(Gaddr from_addr, Gaddr to_addr);
+
+ private:
+  std::map<SegmentId, std::unique_ptr<SegmentImage>> segments_;
+  std::map<Oid, Gaddr> oid_addr_;
+};
+
+}  // namespace bmx
+
+#endif  // SRC_MEM_REPLICA_STORE_H_

@@ -1,0 +1,106 @@
+// One node's image of a globally addressed segment.
+//
+// "A segment is a set of contiguous virtual memory pages with a constant
+// size. BMX ensures that segments have non-overlapping addresses." (§2.1)
+//
+// Segment contents are described by two bit arrays (paper §8): the object-map
+// (a set bit marks the slot where an object's header starts) and the
+// reference-map (a set bit marks a slot that holds a pointer).  Both have one
+// bit per 8-byte slot.
+
+#ifndef SRC_MEM_SEGMENT_H_
+#define SRC_MEM_SEGMENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/bitmap.h"
+#include "src/common/types.h"
+#include "src/mem/object.h"
+
+namespace bmx {
+
+class SegmentImage {
+ public:
+  SegmentImage(SegmentId id, BunchId bunch)
+      : id_(id),
+        bunch_(bunch),
+        bytes_(kSegmentBytes, 0),
+        object_map_(kSlotsPerSegment),
+        ref_map_(kSlotsPerSegment) {}
+
+  SegmentId id() const { return id_; }
+  BunchId bunch() const { return bunch_; }
+  Gaddr base() const { return SegmentBase(id_); }
+
+  uint8_t* bytes() { return bytes_.data(); }
+  const uint8_t* bytes() const { return bytes_.data(); }
+
+  Bitmap& object_map() { return object_map_; }
+  const Bitmap& object_map() const { return object_map_; }
+  Bitmap& ref_map() { return ref_map_; }
+  const Bitmap& ref_map() const { return ref_map_; }
+
+  bool Contains(Gaddr addr) const { return SegmentOf(addr) == id_; }
+
+  // Header of the object whose data starts at `obj_addr`.
+  ObjectHeader* HeaderOf(Gaddr obj_addr) {
+    size_t off = OffsetInSegment(obj_addr);
+    BMX_CHECK_GE(off, kHeaderBytes);
+    return reinterpret_cast<ObjectHeader*>(bytes_.data() + off - kHeaderBytes);
+  }
+  const ObjectHeader* HeaderOf(Gaddr obj_addr) const {
+    return const_cast<SegmentImage*>(this)->HeaderOf(obj_addr);
+  }
+
+  uint64_t* SlotPtr(Gaddr obj_addr, size_t slot) {
+    size_t off = OffsetInSegment(obj_addr) + slot * kSlotBytes;
+    BMX_CHECK_LT(off, kSegmentBytes);
+    return reinterpret_cast<uint64_t*>(bytes_.data() + off);
+  }
+
+  size_t SlotIndexOf(Gaddr addr) const { return OffsetInSegment(addr) / kSlotBytes; }
+
+  // Bump allocation (only the node that created the segment allocates into
+  // it; other replicas receive bytes through the DSM/GC protocols).  Returns
+  // the new object's data address, or kNullAddr if the segment is full.
+  Gaddr Allocate(Oid oid, uint32_t size_slots);
+
+  // Installs object bytes at a specific address (replica side: a copy pushed
+  // by the owner, or an address-update application).  Marks the object-map.
+  void InstallObject(Gaddr obj_addr, const ObjectHeader& header, const uint64_t* slots);
+
+  // Removes the object starting at obj_addr from the object-map and zeroes
+  // its ref-map bits.  Used when dropping a local replica of an object.
+  void EraseObject(Gaddr obj_addr);
+
+  size_t allocated_bytes() const { return cursor_; }
+  size_t FreeBytes() const { return kSegmentBytes - cursor_; }
+  // For recovery: restore the allocation cursor saved at checkpoint time.
+  void set_allocated_bytes(size_t cursor) { cursor_ = cursor; }
+
+  // Iterates object data addresses present in this image, in address order.
+  // Visitor signature: void(Gaddr obj_addr, ObjectHeader& header).
+  template <typename Fn>
+  void ForEachObject(Fn&& fn) {
+    for (size_t bit = object_map_.FindNextSet(0); bit < object_map_.size();
+         bit = object_map_.FindNextSet(bit + 1)) {
+      size_t header_off = bit * kSlotBytes;
+      auto* header = reinterpret_cast<ObjectHeader*>(bytes_.data() + header_off);
+      Gaddr obj_addr = base() + header_off + kHeaderBytes;
+      fn(obj_addr, *header);
+    }
+  }
+
+ private:
+  SegmentId id_;
+  BunchId bunch_;
+  std::vector<uint8_t> bytes_;
+  Bitmap object_map_;
+  Bitmap ref_map_;
+  size_t cursor_ = kSlotBytes;  // slot 0 unused so no object sits at offset 0
+};
+
+}  // namespace bmx
+
+#endif  // SRC_MEM_SEGMENT_H_

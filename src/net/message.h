@@ -1,0 +1,85 @@
+// Wire-format registry for the simulated network.
+//
+// The network layer is transport only: it moves opaque payloads between nodes
+// over FIFO point-to-point channels.  Like a port registry, the full set of
+// message kinds used by the upper layers (DSM protocol, garbage collector,
+// baseline collectors) is enumerated here so that traffic can be classified
+// and accounted per kind — the paper's cost claims are stated in terms of
+// which messages exist at all ("no extra message is used", §3.2/§4.4).
+
+#ifndef SRC_NET_MESSAGE_H_
+#define SRC_NET_MESSAGE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/common/types.h"
+
+namespace bmx {
+
+enum class MsgKind : uint8_t {
+  // --- Entry-consistency DSM protocol (paper §2.2, §5). ---
+  kAcquireRequest,    // read or write token request, routed along ownerPtrs
+  kGrant,             // token grant: object bytes + GC piggyback payload
+  kInvalidate,        // owner invalidating read copies before a write grant
+  kInvalidateAck,
+  kObjectPush,        // owner pushing fresh bytes of an object (reclaim path)
+
+  // --- Garbage collector (paper §3-§6). ---
+  kScionMessage,      // create an inter-bunch scion at target bunch (§3.2)
+  kReachabilityTable, // new stub table + exiting ownerPtrs after a BGC (§4.3/§6)
+  kCopyRequest,       // from-space reclaim: ask owner to copy a live object (§4.5)
+  kCopyReply,
+  kAddressChange,     // from-space reclaim: explicit new-location notice (§4.5)
+  kAddressChangeAck,
+
+  // --- Baseline collectors (paper §9 comparators). ---
+  kStwStop,           // stop-the-world barrier
+  kStwRootsReply,
+  kStwRelocate,       // new global object map broadcast
+  kStwResume,
+  kRcIncrement,       // Bevan-style reference counting
+  kRcDecrement,
+  kStrongUpdate,      // strong-consistency collector: eager address update
+  kStrongUpdateAck,
+
+  kMaxKind,  // sentinel, keep last
+};
+
+const char* MsgKindName(MsgKind kind);
+
+// Traffic categories used by the statistics and by the paper's accounting:
+// the GC design claim is that GC information rides on application-driven
+// consistency messages (piggyback) or flows in the background.
+enum class MsgCategory : uint8_t {
+  kDsm,           // consistency-protocol traffic driven by applications
+  kGcBackground,  // GC traffic that applications never wait for
+  kGcForeground,  // GC traffic a baseline collector makes applications wait for
+};
+
+// Base class for typed message payloads.  Payloads are in-process structs; a
+// payload reports the size it would occupy on a real wire so experiments can
+// account bytes (piggyback bytes vs. dedicated messages).
+class Payload {
+ public:
+  virtual ~Payload() = default;
+  virtual MsgKind kind() const = 0;
+  virtual MsgCategory category() const = 0;
+  virtual size_t WireSize() const = 0;
+  // Reliable payloads are never dropped by fault injection; the paper's GC
+  // messages are designed to tolerate loss (idempotent tables, §6.1) while the
+  // DSM protocol itself is assumed reliable.
+  virtual bool reliable() const { return true; }
+};
+
+struct Message {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  uint64_t seq = 0;  // per-channel FIFO sequence number, stamped by Network
+  std::shared_ptr<const Payload> payload;
+};
+
+}  // namespace bmx
+
+#endif  // SRC_NET_MESSAGE_H_

@@ -1,0 +1,101 @@
+// Deterministic simulated network: FIFO point-to-point channels, per-kind
+// statistics, and seeded fault injection (loss and duplication) for payloads
+// that declare themselves tolerant of unreliable delivery.
+//
+// The simulation is single-threaded and event-driven: Send() enqueues,
+// RunUntilIdle() drains every channel in a deterministic round-robin order,
+// invoking the destination node's handler for each delivery.  Handlers may
+// send further messages; delivery continues until the network is quiescent.
+
+#ifndef SRC_NET_NETWORK_H_
+#define SRC_NET_NETWORK_H_
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/types.h"
+#include "src/net/message.h"
+
+namespace bmx {
+
+class MessageHandler {
+ public:
+  virtual ~MessageHandler() = default;
+  virtual void HandleMessage(const Message& msg) = 0;
+};
+
+struct NetworkStats {
+  struct PerKind {
+    uint64_t sent = 0;
+    uint64_t delivered = 0;
+    uint64_t dropped = 0;
+    uint64_t duplicated = 0;
+    uint64_t bytes = 0;  // wire bytes of sent messages
+  };
+  std::array<PerKind, static_cast<size_t>(MsgKind::kMaxKind)> per_kind;
+
+  PerKind& For(MsgKind kind) { return per_kind[static_cast<size_t>(kind)]; }
+  const PerKind& For(MsgKind kind) const { return per_kind[static_cast<size_t>(kind)]; }
+
+  uint64_t TotalSent() const;
+  uint64_t TotalBytes() const;
+  uint64_t SentInCategory(MsgCategory category) const;
+  uint64_t BytesInCategory(MsgCategory category) const;
+};
+
+class Network {
+ public:
+  explicit Network(uint64_t seed = 1) : rng_(seed) {}
+
+  void RegisterNode(NodeId node, MessageHandler* handler);
+
+  // Enqueues a message for FIFO delivery on the (src, dst) channel.  Fault
+  // injection applies only to payloads with reliable() == false.
+  void Send(NodeId src, NodeId dst, std::shared_ptr<const Payload> payload);
+
+  // Delivers exactly one pending message (the head of the next non-empty
+  // channel in round-robin order).  Returns false if nothing was pending.
+  bool DeliverOne();
+
+  // Drains all channels; handlers may enqueue more work, which is also
+  // drained.  Guarded against runaway protocols by a delivery budget.
+  void RunUntilIdle();
+
+  bool Idle() const;
+  size_t PendingCount() const;
+
+  // Loss probability applied to unreliable payloads.
+  void set_loss_rate(double p) { loss_rate_ = p; }
+  // Duplication probability applied to unreliable payloads.
+  void set_duplication_rate(double p) { duplication_rate_ = p; }
+
+  const NetworkStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = NetworkStats{}; }
+
+  // Simulates a node crash: all traffic queued to or from the node is
+  // discarded and the handler unregistered until re-registration.
+  void DisconnectNode(NodeId node);
+
+ private:
+  using ChannelKey = std::pair<NodeId, NodeId>;
+
+  Rng rng_;
+  double loss_rate_ = 0.0;
+  double duplication_rate_ = 0.0;
+  std::map<NodeId, MessageHandler*> handlers_;
+  // std::map keeps channel iteration order deterministic.
+  std::map<ChannelKey, std::deque<Message>> channels_;
+  std::map<ChannelKey, uint64_t> next_seq_;
+  NetworkStats stats_;
+  size_t pending_ = 0;
+};
+
+}  // namespace bmx
+
+#endif  // SRC_NET_NETWORK_H_

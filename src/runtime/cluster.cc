@@ -1,0 +1,43 @@
+#include "src/runtime/cluster.h"
+
+#include "src/common/check.h"
+
+namespace bmx {
+
+Cluster::Cluster(const ClusterOptions& options) : options_(options), network_(options.seed) {
+  BMX_CHECK_GT(options.num_nodes, 0u);
+  nodes_.reserve(options.num_nodes);
+  for (NodeId id = 0; id < options.num_nodes; ++id) {
+    nodes_.push_back(
+        std::make_unique<Node>(id, &network_, &directory_, &disk_, options.copyset_mode));
+    nodes_.back()->gc().set_cleaner_mode(options.cleaner_mode);
+  }
+}
+
+Node& Cluster::node(NodeId id) {
+  BMX_CHECK_LT(id, nodes_.size());
+  BMX_CHECK(nodes_[id] != nullptr) << "node " << id << " is crashed";
+  return *nodes_[id];
+}
+
+BunchId Cluster::CreateBunch(NodeId creator) { return directory_.CreateBunch(creator); }
+
+void Cluster::CrashNode(NodeId id) {
+  BMX_CHECK_LT(id, nodes_.size());
+  BMX_CHECK(nodes_[id] != nullptr) << "node " << id << " already crashed";
+  network_.DisconnectNode(id);
+  for (BunchId bunch : directory_.AllBunches()) {
+    directory_.NoteUnmapped(bunch, id);
+  }
+  nodes_[id].reset();
+}
+
+Node& Cluster::RestartNode(NodeId id) {
+  BMX_CHECK_LT(id, nodes_.size());
+  BMX_CHECK(nodes_[id] == nullptr) << "node " << id << " is not crashed";
+  nodes_[id] = std::make_unique<Node>(id, &network_, &directory_, &disk_, options_.copyset_mode);
+  nodes_[id]->gc().set_cleaner_mode(options_.cleaner_mode);
+  return *nodes_[id];
+}
+
+}  // namespace bmx

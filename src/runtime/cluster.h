@@ -1,0 +1,57 @@
+// The whole simulated BMX deployment: a network, the shared segment
+// directory (the BMX-server role), a shared stable store, and N nodes.
+
+#ifndef SRC_RUNTIME_CLUSTER_H_
+#define SRC_RUNTIME_CLUSTER_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/mem/directory.h"
+#include "src/net/network.h"
+#include "src/runtime/node.h"
+#include "src/rvm/disk.h"
+
+namespace bmx {
+
+struct ClusterOptions {
+  size_t num_nodes = 2;
+  CopySetMode copyset_mode = CopySetMode::kCentralized;
+  CleanerMode cleaner_mode = CleanerMode::kImmediate;
+  uint64_t seed = 1;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(const ClusterOptions& options = {});
+
+  size_t size() const { return nodes_.size(); }
+  Node& node(NodeId id);
+  Network& network() { return network_; }
+  SegmentDirectory& directory() { return directory_; }
+  Disk& disk() { return disk_; }
+
+  BunchId CreateBunch(NodeId creator);
+
+  // Drains all in-flight messages.
+  void Pump() { network_.RunUntilIdle(); }
+
+  // Simulates a node crash: volatile state discarded, in-flight traffic to
+  // and from the node dropped.  Stable storage (the shared Disk) survives.
+  void CrashNode(NodeId id);
+  // Brings a crashed node back with empty volatile state; callers recover
+  // segments through node.persistence().
+  Node& RestartNode(NodeId id);
+
+ private:
+  ClusterOptions options_;
+  Network network_;
+  SegmentDirectory directory_;
+  Disk disk_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+}  // namespace bmx
+
+#endif  // SRC_RUNTIME_CLUSTER_H_

@@ -1,0 +1,100 @@
+#include "src/runtime/mutator.h"
+
+#include "src/common/check.h"
+
+namespace bmx {
+
+Mutator::Mutator(Node* node) : node_(node) {
+  BMX_CHECK(node_ != nullptr);
+  node_->gc().AddRootProvider(this);
+}
+
+Mutator::~Mutator() { node_->gc().RemoveRootProvider(this); }
+
+Gaddr Mutator::Alloc(BunchId bunch, uint32_t size_slots) {
+  return node_->gc().Allocate(bunch, size_slots);
+}
+
+bool Mutator::AcquireRead(Gaddr addr) { return node_->dsm().AcquireRead(addr); }
+
+bool Mutator::AcquireWrite(Gaddr addr) { return node_->dsm().AcquireWrite(addr); }
+
+void Mutator::Release(Gaddr addr) { node_->dsm().Release(addr); }
+
+void Mutator::CheckWritable(Gaddr obj) const {
+  if (!strict_) {
+    return;
+  }
+  Gaddr resolved = node_->dsm().LocalCopyOf(obj);
+  BMX_CHECK(node_->store().HasObjectAt(resolved)) << "write to unmapped object";
+  Oid oid = node_->store().HeaderOf(resolved)->oid;
+  BMX_CHECK(node_->dsm().StateOf(oid) == TokenState::kWrite)
+      << "entry consistency violation: write without the write token (node " << node_->id()
+      << ", oid " << oid << ")";
+}
+
+void Mutator::CheckReadable(Gaddr obj) const {
+  if (!strict_) {
+    return;
+  }
+  Gaddr resolved = node_->dsm().LocalCopyOf(obj);
+  BMX_CHECK(node_->store().HasObjectAt(resolved)) << "read of unmapped object";
+  Oid oid = node_->store().HeaderOf(resolved)->oid;
+  BMX_CHECK(node_->dsm().StateOf(oid) != TokenState::kNone)
+      << "entry consistency violation: read without a token (node " << node_->id() << ", oid "
+      << oid << ")";
+}
+
+void Mutator::WriteRef(Gaddr obj, size_t slot, Gaddr target) {
+  CheckWritable(obj);
+  node_->gc().WriteRef(obj, slot, target);
+}
+
+void Mutator::WriteWord(Gaddr obj, size_t slot, uint64_t value) {
+  CheckWritable(obj);
+  node_->gc().WriteWord(obj, slot, value);
+}
+
+Gaddr Mutator::ReadRef(Gaddr obj, size_t slot) const {
+  CheckReadable(obj);
+  return node_->gc().ReadSlot(obj, slot);
+}
+
+uint64_t Mutator::ReadWord(Gaddr obj, size_t slot) const {
+  CheckReadable(obj);
+  return node_->gc().ReadSlot(obj, slot);
+}
+
+size_t Mutator::AddRoot(Gaddr addr) {
+  if (addr != kNullAddr) {
+    // A root must refer to an object this node has actually faulted in; the
+    // non-owned local replica is what ties our interest into the global
+    // liveness chain (exiting ownerPtr → entering ownerPtr at the owner).
+    Gaddr resolved = node_->dsm().ResolveAddr(addr);
+    BMX_CHECK(node_->store().HasObjectAt(resolved))
+        << "root to an object with no local replica; acquire it first";
+  }
+  roots_.push_back(addr);
+  return roots_.size() - 1;
+}
+
+void Mutator::SetRoot(size_t index, Gaddr addr) {
+  BMX_CHECK_LT(index, roots_.size());
+  roots_[index] = addr;
+}
+
+Gaddr Mutator::Root(size_t index) const {
+  BMX_CHECK_LT(index, roots_.size());
+  return roots_[index];
+}
+
+std::vector<Gaddr*> Mutator::RootSlots() {
+  std::vector<Gaddr*> slots;
+  slots.reserve(roots_.size());
+  for (Gaddr& root : roots_) {
+    slots.push_back(&root);
+  }
+  return slots;
+}
+
+}  // namespace bmx

@@ -1,0 +1,49 @@
+#include "src/runtime/node.h"
+
+#include "src/common/check.h"
+
+namespace bmx {
+
+Node::Node(NodeId id, Network* network, SegmentDirectory* directory, Disk* disk, CopySetMode mode)
+    : id_(id),
+      network_(network),
+      dsm_(id, network, directory, &store_, mode),
+      gc_(id, network, directory, &store_, &dsm_),
+      persistence_(disk, id) {
+  network_->RegisterNode(id_, this);
+}
+
+void Node::HandleMessage(const Message& msg) {
+  switch (msg.payload->kind()) {
+    case MsgKind::kAcquireRequest:
+    case MsgKind::kGrant:
+    case MsgKind::kInvalidate:
+    case MsgKind::kInvalidateAck:
+    case MsgKind::kObjectPush:
+      dsm_.HandleMessage(msg);
+      return;
+    case MsgKind::kScionMessage:
+    case MsgKind::kReachabilityTable:
+    case MsgKind::kCopyRequest:
+    case MsgKind::kCopyReply:
+    case MsgKind::kAddressChange:
+    case MsgKind::kAddressChangeAck:
+      gc_.HandleMessage(msg);
+      return;
+    default:
+      BMX_CHECK(extra_handler_ != nullptr)
+          << "node " << id_ << " has no handler for " << MsgKindName(msg.payload->kind());
+      extra_handler_->HandleMessage(msg);
+      return;
+  }
+}
+
+void Node::CheckpointBunch(BunchId bunch) {
+  std::vector<SegmentImage*> images;
+  for (SegmentId seg : store_.SegmentsOfBunch(bunch)) {
+    images.push_back(store_.Find(seg));
+  }
+  persistence_.CheckpointSegments(images);
+}
+
+}  // namespace bmx

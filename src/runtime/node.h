@@ -1,0 +1,55 @@
+// One simulated machine: replica store, DSM protocol engine, GC engine and
+// persistence manager, with a single network identity.  Routes incoming
+// messages to the right protocol engine by message kind; kinds belonging to
+// baseline collectors are routed to a pluggable extra handler.
+
+#ifndef SRC_RUNTIME_NODE_H_
+#define SRC_RUNTIME_NODE_H_
+
+#include <memory>
+
+#include "src/common/types.h"
+#include "src/dsm/dsm_node.h"
+#include "src/gc/gc_engine.h"
+#include "src/mem/directory.h"
+#include "src/mem/replica_store.h"
+#include "src/net/network.h"
+#include "src/runtime/persistence.h"
+#include "src/rvm/disk.h"
+
+namespace bmx {
+
+class Node : public MessageHandler {
+ public:
+  Node(NodeId id, Network* network, SegmentDirectory* directory, Disk* disk,
+       CopySetMode mode = CopySetMode::kCentralized);
+
+  NodeId id() const { return id_; }
+  Network* network() { return network_; }
+  ReplicaStore& store() { return store_; }
+  DsmNode& dsm() { return dsm_; }
+  GcEngine& gc() { return gc_; }
+  PersistenceManager& persistence() { return persistence_; }
+
+  // Handler for baseline-collector message kinds (StwStop…, Rc…, Strong…).
+  void set_extra_handler(MessageHandler* handler) { extra_handler_ = handler; }
+
+  void HandleMessage(const Message& msg) override;
+
+  // Persist the local replica of `bunch` (all its mapped segments) in one
+  // recoverable transaction.
+  void CheckpointBunch(BunchId bunch);
+
+ private:
+  NodeId id_;
+  Network* network_;
+  ReplicaStore store_;
+  DsmNode dsm_;
+  GcEngine gc_;
+  PersistenceManager persistence_;
+  MessageHandler* extra_handler_ = nullptr;
+};
+
+}  // namespace bmx
+
+#endif  // SRC_RUNTIME_NODE_H_

@@ -1,0 +1,77 @@
+// Mutator-level transactions — the paper's stated next step (§10: "We are
+// also extending the current GC design to incorporate a weakly consistent
+// distributed shared memory system with full support for transactions").
+//
+// A Transaction brackets a set of writes to objects of one bunch at one
+// node.  Writes performed through the transaction keep undo records; Abort()
+// rolls every touched slot back; Commit() makes the writes durable by
+// checkpointing the touched segments through RVM in one recoverable
+// transaction.  Entry-consistency tokens are still acquired per object by
+// the caller — the transaction layers atomicity and durability on top of the
+// existing coherence, exactly the RVM model (no concurrency control, no
+// nesting, no distribution).
+
+#ifndef SRC_RUNTIME_TRANSACTION_H_
+#define SRC_RUNTIME_TRANSACTION_H_
+
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/runtime/mutator.h"
+#include "src/runtime/node.h"
+
+namespace bmx {
+
+class Transaction {
+ public:
+  // One open transaction per mutator at a time; `bunch` scopes the commit's
+  // durability (which segments get checkpointed).
+  Transaction(Mutator* mutator, Node* node, BunchId bunch);
+  ~Transaction();  // open transactions abort
+
+  Transaction(const Transaction&) = delete;
+  Transaction& operator=(const Transaction&) = delete;
+
+  // Slot writes with undo.  Token discipline is the mutator's as usual.
+  void WriteWord(Gaddr obj, size_t slot, uint64_t value);
+  void WriteRef(Gaddr obj, size_t slot, Gaddr target);
+
+  // Allocation inside a transaction: on abort the object is simply garbage
+  // (the collector reclaims it); on commit it persists like any other.
+  Gaddr Alloc(uint32_t size_slots);
+
+  // Durably applies every write: the touched segments are checkpointed in
+  // one RVM transaction.
+  void Commit();
+
+  // Restores every touched slot to its pre-transaction value.
+  void Abort();
+
+  bool open() const { return open_; }
+  size_t writes() const { return undo_.size(); }
+
+ private:
+  struct UndoRecord {
+    Gaddr obj = kNullAddr;  // canonical address at write time
+    size_t slot = 0;
+    uint64_t old_value = 0;
+    bool old_is_ref = false;
+  };
+
+  void RecordUndo(Gaddr obj, size_t slot);
+
+  Mutator* mutator_;
+  Node* node_;
+  BunchId bunch_;
+  bool open_ = true;
+  std::vector<UndoRecord> undo_;
+  std::set<SegmentId> touched_;
+  std::set<Gaddr> touched_objects_;
+};
+
+}  // namespace bmx
+
+#endif  // SRC_RUNTIME_TRANSACTION_H_

@@ -1,0 +1,74 @@
+#include "src/rvm/disk.h"
+
+#include <cstring>
+
+#include "src/common/check.h"
+
+namespace bmx {
+
+bool Disk::Exists(const std::string& name) const { return files_.count(name) > 0; }
+
+size_t Disk::FileSize(const std::string& name) const {
+  auto it = files_.find(name);
+  BMX_CHECK(it != files_.end()) << "no such file: " << name;
+  return it->second.size();
+}
+
+void Disk::Create(const std::string& name, size_t size) {
+  files_[name] = std::vector<uint8_t>(size, 0);
+  stats_.writes++;
+  stats_.bytes_written += size;
+}
+
+void Disk::Remove(const std::string& name) { files_.erase(name); }
+
+void Disk::Write(const std::string& name, size_t offset, const uint8_t* data, size_t len) {
+  auto& file = files_[name];
+  if (file.size() < offset + len) {
+    file.resize(offset + len, 0);
+  }
+  std::memcpy(file.data() + offset, data, len);
+  stats_.writes++;
+  stats_.bytes_written += len;
+}
+
+void Disk::Append(const std::string& name, const uint8_t* data, size_t len) {
+  auto& file = files_[name];
+  file.insert(file.end(), data, data + len);
+  stats_.writes++;
+  stats_.bytes_written += len;
+}
+
+void Disk::Read(const std::string& name, size_t offset, uint8_t* out, size_t len) const {
+  auto it = files_.find(name);
+  BMX_CHECK(it != files_.end()) << "no such file: " << name;
+  BMX_CHECK_LE(offset + len, it->second.size()) << "short read from " << name;
+  std::memcpy(out, it->second.data() + offset, len);
+  stats_.reads++;
+  stats_.bytes_read += len;
+}
+
+const std::vector<uint8_t>& Disk::Contents(const std::string& name) const {
+  auto it = files_.find(name);
+  BMX_CHECK(it != files_.end()) << "no such file: " << name;
+  stats_.reads++;
+  stats_.bytes_read += it->second.size();
+  return it->second;
+}
+
+void Disk::Truncate(const std::string& name, size_t new_size) {
+  auto it = files_.find(name);
+  BMX_CHECK(it != files_.end()) << "no such file: " << name;
+  it->second.resize(new_size, 0);
+}
+
+std::vector<std::string> Disk::ListFiles() const {
+  std::vector<std::string> names;
+  names.reserve(files_.size());
+  for (const auto& [name, data] : files_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace bmx

@@ -1,0 +1,57 @@
+// Simulated stable storage.
+//
+// The BMX prototype (paper §8) backs each segment with a Unix file and logs
+// changes through RVM.  This Disk stands in for the stable-storage layer: a
+// set of named flat files whose contents survive a simulated node crash
+// (volatile state is discarded; Disk contents are not).  Each Write() call is
+// atomic and durable, matching the guarantee a real implementation gets from
+// synchronous writes.
+
+#ifndef SRC_RVM_DISK_H_
+#define SRC_RVM_DISK_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace bmx {
+
+struct DiskStats {
+  uint64_t writes = 0;
+  uint64_t bytes_written = 0;
+  uint64_t reads = 0;
+  uint64_t bytes_read = 0;
+};
+
+class Disk {
+ public:
+  bool Exists(const std::string& name) const;
+  size_t FileSize(const std::string& name) const;
+
+  // Creates a zero-filled file (truncating any existing one).
+  void Create(const std::string& name, size_t size);
+  void Remove(const std::string& name);
+
+  // Writes len bytes at offset, growing the file if needed.
+  void Write(const std::string& name, size_t offset, const uint8_t* data, size_t len);
+  void Append(const std::string& name, const uint8_t* data, size_t len);
+
+  void Read(const std::string& name, size_t offset, uint8_t* out, size_t len) const;
+  const std::vector<uint8_t>& Contents(const std::string& name) const;
+
+  void Truncate(const std::string& name, size_t new_size);
+
+  std::vector<std::string> ListFiles() const;
+
+  const DiskStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = DiskStats{}; }
+
+ private:
+  std::map<std::string, std::vector<uint8_t>> files_;
+  mutable DiskStats stats_;
+};
+
+}  // namespace bmx
+
+#endif  // SRC_RVM_DISK_H_

@@ -1,0 +1,85 @@
+#include "src/workload/graph_builder.h"
+
+#include "src/common/check.h"
+
+namespace bmx {
+
+GraphBuilder::GraphBuilder(Cluster* cluster, Mutator* mutator)
+    : cluster_(cluster), mutator_(mutator) {
+  BMX_CHECK(cluster_ != nullptr && mutator_ != nullptr);
+}
+
+Gaddr GraphBuilder::BuildList(BunchId bunch, size_t count, uint32_t size_slots) {
+  BMX_CHECK_GE(size_slots, 1u);
+  Gaddr head = kNullAddr;
+  for (size_t i = 0; i < count; ++i) {
+    Gaddr node = mutator_->Alloc(bunch, size_slots);
+    mutator_->WriteRef(node, 0, head);
+    if (size_slots > 1) {
+      mutator_->WriteWord(node, 1, count - i);
+    }
+    head = node;
+  }
+  return head;
+}
+
+Gaddr GraphBuilder::BuildTree(BunchId bunch, size_t depth, uint32_t size_slots) {
+  BMX_CHECK_GE(size_slots, 2u);
+  Gaddr node = mutator_->Alloc(bunch, size_slots);
+  if (size_slots > 2) {
+    mutator_->WriteWord(node, 2, depth);
+  }
+  if (depth > 0) {
+    mutator_->WriteRef(node, 0, BuildTree(bunch, depth - 1, size_slots));
+    mutator_->WriteRef(node, 1, BuildTree(bunch, depth - 1, size_slots));
+  }
+  return node;
+}
+
+std::vector<Gaddr> GraphBuilder::BuildRandomGraph(BunchId bunch, size_t count, size_t out_degree,
+                                                  Rng* rng) {
+  BMX_CHECK_GT(count, 0u);
+  uint32_t size_slots = static_cast<uint32_t>(out_degree + 1);
+  std::vector<Gaddr> objects;
+  objects.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    objects.push_back(mutator_->Alloc(bunch, size_slots));
+  }
+  // Spine through slot 0 so the first object reaches all of them.
+  for (size_t i = 0; i + 1 < count; ++i) {
+    mutator_->WriteRef(objects[i], 0, objects[i + 1]);
+  }
+  // Random extra edges in the remaining slots.
+  for (size_t i = 0; i < count; ++i) {
+    for (size_t d = 1; d <= out_degree; ++d) {
+      mutator_->WriteRef(objects[i], d, objects[rng->Below(count)]);
+    }
+  }
+  return objects;
+}
+
+std::vector<Gaddr> GraphBuilder::BuildCrossBunchCycle(const std::vector<BunchId>& bunches,
+                                                      uint32_t size_slots) {
+  BMX_CHECK_GE(size_slots, 1u);
+  BMX_CHECK_GE(bunches.size(), 2u);
+  std::vector<Gaddr> ring;
+  ring.reserve(bunches.size());
+  for (BunchId bunch : bunches) {
+    ring.push_back(mutator_->Alloc(bunch, size_slots));
+  }
+  for (size_t i = 0; i < ring.size(); ++i) {
+    mutator_->WriteRef(ring[i], 0, ring[(i + 1) % ring.size()]);
+  }
+  return ring;
+}
+
+void GraphBuilder::Churn(const std::vector<Gaddr>& objects, size_t writes, Rng* rng) {
+  BMX_CHECK_GE(objects.size(), 2u);
+  for (size_t i = 0; i < writes; ++i) {
+    Gaddr src = objects[rng->Below(objects.size())];
+    Gaddr dst = objects[rng->Below(objects.size())];
+    mutator_->WriteRef(src, 1, dst);
+  }
+}
+
+}  // namespace bmx

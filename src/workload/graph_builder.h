@@ -1,0 +1,50 @@
+// Workload generators shared by tests, examples and benchmarks: the
+// "intricate object graphs" of the paper's motivating applications (§1 —
+// design databases, cooperative work, WWW-like exploratory structures).
+// Everything goes through the Mutator API so tokens and write barriers apply.
+
+#ifndef SRC_WORKLOAD_GRAPH_BUILDER_H_
+#define SRC_WORKLOAD_GRAPH_BUILDER_H_
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/runtime/cluster.h"
+#include "src/runtime/mutator.h"
+
+namespace bmx {
+
+class GraphBuilder {
+ public:
+  GraphBuilder(Cluster* cluster, Mutator* mutator);
+
+  // Singly linked list of `count` objects in `bunch`.  Slot 0 is the next
+  // pointer; remaining slots carry scalar payload.  Returns the head.
+  Gaddr BuildList(BunchId bunch, size_t count, uint32_t size_slots = 2);
+
+  // Complete binary tree of the given depth (depth 0 = single node).  Slots 0
+  // and 1 are children.  Returns the root.
+  Gaddr BuildTree(BunchId bunch, size_t depth, uint32_t size_slots = 3);
+
+  // `count` objects with `out_degree` random intra-bunch references each.
+  // Returns all objects; the first is connected to every other via a spine so
+  // rooting it keeps the whole population alive.
+  std::vector<Gaddr> BuildRandomGraph(BunchId bunch, size_t count, size_t out_degree, Rng* rng);
+
+  // A ring of objects, one per bunch in `bunches`, each pointing to the next
+  // (cross-bunch cycle — GGC's prey, §7).  Returns the ring members.
+  std::vector<Gaddr> BuildCrossBunchCycle(const std::vector<BunchId>& bunches,
+                                          uint32_t size_slots = 2);
+
+  // Random reference rewrites among `objects` (slot 1 is used as a scratch
+  // reference slot, so objects need >= 2 slots).
+  void Churn(const std::vector<Gaddr>& objects, size_t writes, Rng* rng);
+
+ private:
+  Cluster* cluster_;
+  Mutator* mutator_;
+};
+
+}  // namespace bmx
+
+#endif  // SRC_WORKLOAD_GRAPH_BUILDER_H_

@@ -1,0 +1,125 @@
+#include "src/common/bitmap.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/common/types.h"
+
+namespace bmx {
+namespace {
+
+TEST(Bitmap, SetTestClear) {
+  Bitmap bm(200);
+  EXPECT_EQ(bm.size(), 200u);
+  EXPECT_FALSE(bm.Test(0));
+  bm.Set(0);
+  bm.Set(63);
+  bm.Set(64);
+  bm.Set(199);
+  EXPECT_TRUE(bm.Test(0));
+  EXPECT_TRUE(bm.Test(63));
+  EXPECT_TRUE(bm.Test(64));
+  EXPECT_TRUE(bm.Test(199));
+  EXPECT_FALSE(bm.Test(65));
+  bm.Clear(63);
+  EXPECT_FALSE(bm.Test(63));
+  EXPECT_EQ(bm.CountSet(), 3u);
+}
+
+TEST(Bitmap, ClearAll) {
+  Bitmap bm(100);
+  for (size_t i = 0; i < 100; i += 7) {
+    bm.Set(i);
+  }
+  EXPECT_GT(bm.CountSet(), 0u);
+  bm.ClearAll();
+  EXPECT_EQ(bm.CountSet(), 0u);
+}
+
+TEST(Bitmap, FindNextSet) {
+  Bitmap bm(300);
+  bm.Set(5);
+  bm.Set(64);
+  bm.Set(128);
+  bm.Set(299);
+  EXPECT_EQ(bm.FindNextSet(0), 5u);
+  EXPECT_EQ(bm.FindNextSet(5), 5u);
+  EXPECT_EQ(bm.FindNextSet(6), 64u);
+  EXPECT_EQ(bm.FindNextSet(65), 128u);
+  EXPECT_EQ(bm.FindNextSet(129), 299u);
+  EXPECT_EQ(bm.FindNextSet(300), 300u);
+}
+
+TEST(Bitmap, FindNextSetEmpty) {
+  Bitmap bm(128);
+  EXPECT_EQ(bm.FindNextSet(0), 128u);
+}
+
+TEST(Bitmap, IterationMatchesSetBits) {
+  Rng rng(42);
+  Bitmap bm(1000);
+  std::vector<size_t> expected;
+  for (size_t i = 0; i < 1000; ++i) {
+    if (rng.Chance(0.1)) {
+      bm.Set(i);
+      expected.push_back(i);
+    }
+  }
+  std::vector<size_t> found;
+  for (size_t bit = bm.FindNextSet(0); bit < bm.size(); bit = bm.FindNextSet(bit + 1)) {
+    found.push_back(bit);
+  }
+  EXPECT_EQ(found, expected);
+  EXPECT_EQ(bm.CountSet(), expected.size());
+}
+
+TEST(Bitmap, WordsRoundTrip) {
+  Bitmap a(256);
+  a.Set(1);
+  a.Set(100);
+  a.Set(255);
+  Bitmap b(256);
+  b.LoadWords(a.words());
+  EXPECT_TRUE(b.Test(1));
+  EXPECT_TRUE(b.Test(100));
+  EXPECT_TRUE(b.Test(255));
+  EXPECT_EQ(b.CountSet(), 3u);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(Rng, BelowInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Below(17), 17u);
+  }
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Types, AddressGeometry) {
+  SegmentId seg = 12;
+  Gaddr base = SegmentBase(seg);
+  EXPECT_EQ(SegmentOf(base), seg);
+  EXPECT_EQ(OffsetInSegment(base), 0u);
+  Gaddr addr = MakeAddr(seg, 4096);
+  EXPECT_EQ(SegmentOf(addr), seg);
+  EXPECT_EQ(OffsetInSegment(addr), 4096u);
+  EXPECT_EQ(SegmentOf(addr + kSegmentBytes), seg + 1);
+}
+
+}  // namespace
+}  // namespace bmx

@@ -1,0 +1,278 @@
+// Entry-consistency protocol tests (paper §2.2, §5): token fast paths,
+// ownership transfer along ownerPtr chains, invalidation (including deferral
+// inside critical sections), distributed copy-sets and the invariant-2
+// new-location forwarding, entering/exiting ownerPtr bookkeeping.
+
+#include <gtest/gtest.h>
+
+#include "src/runtime/cluster.h"
+#include "src/runtime/mutator.h"
+
+namespace bmx {
+namespace {
+
+Oid OidOf(Node& node, Gaddr addr) {
+  Gaddr resolved = node.dsm().ResolveAddr(addr);
+  return node.store().HeaderOf(resolved)->oid;
+}
+
+class DsmTest : public ::testing::Test {
+ protected:
+  void Build(size_t nodes, CopySetMode mode = CopySetMode::kCentralized) {
+    cluster_ = std::make_unique<Cluster>(
+        ClusterOptions{.num_nodes = nodes, .copyset_mode = mode});
+    for (size_t i = 0; i < nodes; ++i) {
+      mutators_.push_back(std::make_unique<Mutator>(&cluster_->node(i)));
+    }
+    bunch_ = cluster_->CreateBunch(0);
+  }
+
+  Gaddr AllocAt(NodeId node, uint32_t slots = 2) { return mutators_[node]->Alloc(bunch_, slots); }
+
+  std::unique_ptr<Cluster> cluster_;
+  std::vector<std::unique_ptr<Mutator>> mutators_;
+  BunchId bunch_ = kInvalidBunch;
+};
+
+TEST_F(DsmTest, CreatorOwnsNewObject) {
+  Build(2);
+  Gaddr a = AllocAt(0);
+  Oid oid = OidOf(cluster_->node(0), a);
+  EXPECT_TRUE(cluster_->node(0).dsm().IsLocallyOwned(oid));
+  EXPECT_EQ(cluster_->node(0).dsm().StateOf(oid), TokenState::kWrite);
+  EXPECT_FALSE(cluster_->node(1).dsm().Knows(oid));
+}
+
+TEST_F(DsmTest, LocalAcquireNeedsNoMessages) {
+  Build(2);
+  Gaddr a = AllocAt(0);
+  cluster_->network().ResetStats();
+  ASSERT_TRUE(mutators_[0]->AcquireWrite(a));
+  mutators_[0]->Release(a);
+  ASSERT_TRUE(mutators_[0]->AcquireRead(a));
+  mutators_[0]->Release(a);
+  EXPECT_EQ(cluster_->network().stats().TotalSent(), 0u);
+}
+
+TEST_F(DsmTest, ReadGrantDowngradesOwnerAndTracksCopyset) {
+  Build(2);
+  Gaddr a = AllocAt(0);
+  Oid oid = OidOf(cluster_->node(0), a);
+  ASSERT_TRUE(mutators_[1]->AcquireRead(a));
+  mutators_[1]->Release(a);
+  EXPECT_EQ(cluster_->node(0).dsm().StateOf(oid), TokenState::kRead);
+  EXPECT_EQ(cluster_->node(1).dsm().StateOf(oid), TokenState::kRead);
+  EXPECT_TRUE(cluster_->node(0).dsm().IsLocallyOwned(oid));
+  EXPECT_FALSE(cluster_->node(1).dsm().IsLocallyOwned(oid));
+  EXPECT_EQ(cluster_->node(1).dsm().OwnerHint(oid), 0u);
+  // Entering ownerPtr registered at the owner.
+  const auto& entering = cluster_->node(0).dsm().EnteringFor(bunch_);
+  ASSERT_TRUE(entering.count(oid) > 0);
+  EXPECT_TRUE(entering.at(oid).count(1) > 0);
+}
+
+TEST_F(DsmTest, OwnerWriteUpgradeInvalidatesReaders) {
+  Build(3);
+  Gaddr a = AllocAt(0);
+  Oid oid = OidOf(cluster_->node(0), a);
+  ASSERT_TRUE(mutators_[1]->AcquireRead(a));
+  mutators_[1]->Release(a);
+  ASSERT_TRUE(mutators_[2]->AcquireRead(a));
+  mutators_[2]->Release(a);
+
+  ASSERT_TRUE(mutators_[0]->AcquireWrite(a));
+  mutators_[0]->WriteWord(a, 0, 77);
+  mutators_[0]->Release(a);
+
+  EXPECT_EQ(cluster_->node(1).dsm().StateOf(oid), TokenState::kNone);
+  EXPECT_EQ(cluster_->node(2).dsm().StateOf(oid), TokenState::kNone);
+  EXPECT_EQ(cluster_->node(0).dsm().StateOf(oid), TokenState::kWrite);
+  EXPECT_EQ(cluster_->node(1).dsm().stats().read_copies_invalidated, 1u);
+
+  // Readers re-acquire and see the new value.
+  ASSERT_TRUE(mutators_[1]->AcquireRead(a));
+  EXPECT_EQ(mutators_[1]->ReadWord(a, 0), 77u);
+  mutators_[1]->Release(a);
+}
+
+TEST_F(DsmTest, OwnershipTransferMovesEnteringSet) {
+  Build(3);
+  Gaddr a = AllocAt(0);
+  Oid oid = OidOf(cluster_->node(0), a);
+  ASSERT_TRUE(mutators_[2]->AcquireRead(a));
+  mutators_[2]->Release(a);
+
+  ASSERT_TRUE(mutators_[1]->AcquireWrite(a));
+  mutators_[1]->Release(a);
+
+  EXPECT_TRUE(cluster_->node(1).dsm().IsLocallyOwned(oid));
+  EXPECT_FALSE(cluster_->node(0).dsm().IsLocallyOwned(oid));
+  EXPECT_EQ(cluster_->node(0).dsm().OwnerHint(oid), 1u);
+
+  // The new owner's entering set covers the old owner and the old reader.
+  const auto& entering = cluster_->node(1).dsm().EnteringFor(bunch_);
+  ASSERT_TRUE(entering.count(oid) > 0);
+  EXPECT_TRUE(entering.at(oid).count(0) > 0);
+  EXPECT_TRUE(entering.at(oid).count(2) > 0);
+  EXPECT_FALSE(entering.at(oid).count(1) > 0);
+  // The old owner's entering entry is gone.
+  EXPECT_EQ(cluster_->node(0).dsm().EnteringFor(bunch_).count(oid), 0u);
+}
+
+TEST_F(DsmTest, RequestsForwardAlongOwnerPtrChain) {
+  Build(4);
+  Gaddr a = AllocAt(0);
+  // Ownership walks 0 -> 1 -> 2.
+  ASSERT_TRUE(mutators_[1]->AcquireWrite(a));
+  mutators_[1]->Release(a);
+  ASSERT_TRUE(mutators_[2]->AcquireWrite(a));
+  mutators_[2]->Release(a);
+  // Node 3 asks node 0 (segment creator fallback); the request must chain
+  // through the stale ownerPtrs to node 2.
+  ASSERT_TRUE(mutators_[3]->AcquireWrite(a));
+  mutators_[3]->WriteWord(a, 0, 5);
+  mutators_[3]->Release(a);
+  Oid oid = OidOf(cluster_->node(3), a);
+  EXPECT_TRUE(cluster_->node(3).dsm().IsLocallyOwned(oid));
+}
+
+TEST_F(DsmTest, WriteDataTravelsWithToken) {
+  Build(2);
+  Gaddr a = AllocAt(0);
+  ASSERT_TRUE(mutators_[0]->AcquireWrite(a));
+  mutators_[0]->WriteWord(a, 0, 123);
+  mutators_[0]->WriteWord(a, 1, 456);
+  mutators_[0]->Release(a);
+  ASSERT_TRUE(mutators_[1]->AcquireWrite(a));
+  EXPECT_EQ(mutators_[1]->ReadWord(a, 0), 123u);
+  EXPECT_EQ(mutators_[1]->ReadWord(a, 1), 456u);
+  mutators_[1]->Release(a);
+}
+
+TEST_F(DsmTest, InvalidationDeferredWhileReaderInCriticalSection) {
+  Build(2);
+  Gaddr a = AllocAt(0);
+  Oid oid = OidOf(cluster_->node(0), a);
+  ASSERT_TRUE(mutators_[1]->AcquireRead(a));  // node 1 enters CS and stays
+
+  // Node 0 wants exclusivity; the invalidation of node 1 must wait for its
+  // release (entry consistency honors the critical section), so the upgrade
+  // cannot complete yet.
+  EXPECT_FALSE(mutators_[0]->AcquireWrite(a));
+  EXPECT_EQ(cluster_->node(1).dsm().StateOf(oid), TokenState::kRead);
+
+  mutators_[1]->Release(a);
+  cluster_->Pump();
+  EXPECT_EQ(cluster_->node(1).dsm().StateOf(oid), TokenState::kNone);
+  EXPECT_EQ(cluster_->node(0).dsm().StateOf(oid), TokenState::kWrite);
+}
+
+TEST_F(DsmTest, RemoteWriteRequestDeferredWhileOwnerHolds) {
+  Build(2);
+  Gaddr a = AllocAt(0);
+  Oid oid = OidOf(cluster_->node(0), a);
+  ASSERT_TRUE(mutators_[0]->AcquireWrite(a));  // owner in CS
+
+  cluster_->node(1).dsm().BeginAcquire(a, /*write=*/true);
+  cluster_->Pump();
+  EXPECT_FALSE(cluster_->node(1).dsm().IsLocallyOwned(oid));
+
+  mutators_[0]->Release(a);
+  cluster_->Pump();
+  EXPECT_TRUE(cluster_->node(1).dsm().IsLocallyOwned(oid));
+  EXPECT_EQ(cluster_->node(1).dsm().StateOf(oid), TokenState::kWrite);
+}
+
+TEST_F(DsmTest, DistributedModeReadTokenFromReader) {
+  Build(3, CopySetMode::kDistributed);
+  Gaddr a = AllocAt(0);
+  Oid oid = OidOf(cluster_->node(0), a);
+  ASSERT_TRUE(mutators_[1]->AcquireRead(a));
+  mutators_[1]->Release(a);
+
+  // Node 2 sends its request to node 0 (creator), which owns the object and
+  // grants directly; to exercise reader-granting, route the request at node 1
+  // explicitly via BeginAcquire on an address... instead, transfer ownership
+  // away from the creator so the creator is a mere reader.
+  ASSERT_TRUE(mutators_[1]->AcquireWrite(a));
+  mutators_[1]->Release(a);
+  ASSERT_TRUE(mutators_[0]->AcquireRead(a));
+  mutators_[0]->Release(a);
+  // Now: node 1 owns; node 0 (creator) holds a read token.  Node 2's request
+  // goes to node 0 first, which in distributed mode grants from its copy.
+  cluster_->network().ResetStats();
+  ASSERT_TRUE(mutators_[2]->AcquireRead(a));
+  mutators_[2]->Release(a);
+  EXPECT_EQ(cluster_->node(2).dsm().StateOf(oid), TokenState::kRead);
+  // The granter was node 0, so node 2's ownerPtr points at node 0 (Li-style
+  // probable owner), not at the true owner.
+  EXPECT_EQ(cluster_->node(2).dsm().OwnerHint(oid), 0u);
+  // And no forwarding hop was needed: exactly one request, one grant.
+  EXPECT_EQ(cluster_->network().stats().For(MsgKind::kAcquireRequest).sent, 1u);
+  EXPECT_EQ(cluster_->network().stats().For(MsgKind::kGrant).sent, 1u);
+}
+
+TEST_F(DsmTest, DistributedModeInvalidationFloodsTree) {
+  Build(3, CopySetMode::kDistributed);
+  Gaddr a = AllocAt(0);
+  Oid oid = OidOf(cluster_->node(0), a);
+  // Build a grant tree: owner(0) -> reader(1) -> reader(2).
+  ASSERT_TRUE(mutators_[1]->AcquireRead(a));
+  mutators_[1]->Release(a);
+  ASSERT_TRUE(mutators_[1]->AcquireWrite(a));
+  mutators_[1]->Release(a);
+  ASSERT_TRUE(mutators_[0]->AcquireRead(a));
+  mutators_[0]->Release(a);
+  ASSERT_TRUE(mutators_[2]->AcquireRead(a));  // granted by node 0
+  mutators_[2]->Release(a);
+
+  // Owner (node 1) upgrades: both node 0 and its grantee node 2 must drop.
+  ASSERT_TRUE(mutators_[1]->AcquireWrite(a));
+  mutators_[1]->Release(a);
+  EXPECT_EQ(cluster_->node(0).dsm().StateOf(oid), TokenState::kNone);
+  EXPECT_EQ(cluster_->node(2).dsm().StateOf(oid), TokenState::kNone);
+}
+
+TEST_F(DsmTest, EnteringPruneRemovesSource) {
+  Build(2);
+  Gaddr a = AllocAt(0);
+  Oid oid = OidOf(cluster_->node(0), a);
+  ASSERT_TRUE(mutators_[1]->AcquireRead(a));
+  mutators_[1]->Release(a);
+  ASSERT_TRUE(cluster_->node(0).dsm().EnteringFor(bunch_).count(oid) > 0);
+  cluster_->node(0).dsm().PruneEntering(bunch_, oid, 1);
+  EXPECT_EQ(cluster_->node(0).dsm().EnteringFor(bunch_).count(oid), 0u);
+}
+
+TEST_F(DsmTest, StrictModeRejectsUntokenedWrite) {
+  Build(2);
+  Gaddr a = AllocAt(0);
+  ASSERT_TRUE(mutators_[1]->AcquireRead(a));  // read token only
+  mutators_[1]->Release(a);
+  EXPECT_DEATH(mutators_[1]->WriteWord(a, 0, 1), "entry consistency violation");
+}
+
+TEST_F(DsmTest, StrictModeRejectsUntokenedRead) {
+  Build(2);
+  Gaddr a = AllocAt(0);
+  Oid oid = OidOf(cluster_->node(0), a);
+  ASSERT_TRUE(mutators_[1]->AcquireRead(a));
+  mutators_[1]->Release(a);
+  // Invalidate node 1's copy by upgrading at the owner.
+  ASSERT_TRUE(mutators_[0]->AcquireWrite(a));
+  mutators_[0]->Release(a);
+  ASSERT_EQ(cluster_->node(1).dsm().StateOf(oid), TokenState::kNone);
+  EXPECT_DEATH(mutators_[1]->ReadWord(a, 0), "entry consistency violation");
+}
+
+TEST_F(DsmTest, GcAcquireAttributionIsSeparate) {
+  Build(2);
+  Gaddr a = AllocAt(0);
+  ASSERT_TRUE(cluster_->node(1).dsm().AcquireWrite(a, /*for_gc=*/true));
+  cluster_->node(1).dsm().Release(a);
+  EXPECT_EQ(cluster_->node(1).dsm().GcTokenAcquires(), 1u);
+  EXPECT_EQ(cluster_->node(1).dsm().stats().app_write_acquires, 0u);
+}
+
+}  // namespace
+}  // namespace bmx

@@ -1,0 +1,98 @@
+// Wire-format accounting tests: the benchmarks' byte counters are only as
+// good as each payload's WireSize, and reliability classes decide what fault
+// injection may touch.
+
+#include <gtest/gtest.h>
+
+#include "src/baselines/payloads.h"
+#include "src/dsm/payloads.h"
+#include "src/gc/payloads.h"
+
+namespace bmx {
+namespace {
+
+TEST(Payloads, DsmKindsAndCategories) {
+  AcquireRequestPayload acquire;
+  EXPECT_EQ(acquire.kind(), MsgKind::kAcquireRequest);
+  EXPECT_EQ(acquire.category(), MsgCategory::kDsm);
+  EXPECT_TRUE(acquire.reliable());
+  acquire.for_gc = true;
+  EXPECT_EQ(acquire.category(), MsgCategory::kGcForeground);
+
+  GrantPayload grant;
+  EXPECT_EQ(grant.kind(), MsgKind::kGrant);
+  EXPECT_TRUE(grant.reliable());
+
+  InvalidatePayload inval;
+  EXPECT_EQ(inval.kind(), MsgKind::kInvalidate);
+  ObjectPushPayload push;
+  EXPECT_EQ(push.kind(), MsgKind::kObjectPush);
+}
+
+TEST(Payloads, GrantWireSizeScalesWithObject) {
+  GrantPayload small;
+  GrantPayload big;
+  big.slots.resize(100);
+  big.slot_is_ref.resize(100);
+  EXPECT_GT(big.WireSize(), small.WireSize() + 100 * kSlotBytes - 1);
+}
+
+TEST(Payloads, PiggybackWireSize) {
+  Piggyback pb;
+  EXPECT_TRUE(pb.Empty());
+  EXPECT_EQ(pb.WireSize(), 0u);
+  pb.updates.push_back(AddressUpdate{});
+  pb.intra_ssp_requests.push_back(IntraSspRequest{});
+  pb.replicated_stubs.push_back(InterStubTemplate{});
+  EXPECT_FALSE(pb.Empty());
+  EXPECT_EQ(pb.WireSize(), 28u + 16u + 28u);
+}
+
+TEST(Payloads, GcBackgroundTrafficIsMarked) {
+  ScionMessagePayload scion;
+  EXPECT_EQ(scion.category(), MsgCategory::kGcBackground);
+  EXPECT_TRUE(scion.reliable());  // scion creation must not be lost
+
+  ReachabilityTablePayload table;
+  EXPECT_EQ(table.category(), MsgCategory::kGcBackground);
+  EXPECT_FALSE(table.reliable());  // idempotent full state tolerates loss
+
+  CopyRequestPayload copy_request;
+  EXPECT_TRUE(copy_request.reliable());
+  AddressChangePayload change;
+  EXPECT_TRUE(change.reliable());
+}
+
+TEST(Payloads, TableWireSizeCountsAllEntryKinds) {
+  ReachabilityTablePayload table;
+  size_t base = table.WireSize();
+  table.inter_stub_ids.push_back(1);
+  table.intra_stub_oids.push_back(2);
+  table.exiting_oids.push_back(3);
+  table.exiting_addrs.push_back(4);
+  EXPECT_EQ(table.WireSize(), base + 4 * 8);
+}
+
+TEST(Payloads, BaselineKindsAreForegroundOrUnreliable) {
+  StrongUpdatePayload strong;
+  EXPECT_EQ(strong.category(), MsgCategory::kGcForeground);
+  EXPECT_TRUE(strong.reliable());
+
+  StwStopPayload stop;
+  EXPECT_EQ(stop.category(), MsgCategory::kGcForeground);
+
+  RcIncrementPayload inc;
+  RcDecrementPayload dec;
+  EXPECT_FALSE(inc.reliable());  // the fragility §6.1 argues against
+  EXPECT_FALSE(dec.reliable());
+  EXPECT_EQ(inc.category(), MsgCategory::kGcBackground);
+}
+
+TEST(Payloads, EveryKindHasAName) {
+  for (uint8_t k = 0; k < static_cast<uint8_t>(MsgKind::kMaxKind); ++k) {
+    EXPECT_STRNE(MsgKindName(static_cast<MsgKind>(k)), "Unknown");
+  }
+}
+
+}  // namespace
+}  // namespace bmx

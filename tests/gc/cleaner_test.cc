@@ -1,0 +1,194 @@
+// Scion-cleaner tests (paper §6): idempotent versioned tables under loss and
+// duplication, stale-table rejection, deferred processing, and the
+// intra-bunch SSP deletion cascade of §6.2.
+
+#include <gtest/gtest.h>
+
+#include "src/runtime/cluster.h"
+#include "src/runtime/mutator.h"
+
+namespace bmx {
+namespace {
+
+Oid OidOf(Node& node, Gaddr addr) {
+  return node.store().HeaderOf(node.dsm().ResolveAddr(addr))->oid;
+}
+
+// Builds: node0 holds `src` (bunch b1, rooted) -> `dst` (bunch b2, owned by
+// node1 and rooted nowhere else).  The SSP is remote: stub at node0, scion at
+// node1.
+struct CrossSetup {
+  std::unique_ptr<Cluster> cluster;
+  std::unique_ptr<Mutator> m0;
+  std::unique_ptr<Mutator> m1;
+  BunchId b1 = kInvalidBunch;
+  BunchId b2 = kInvalidBunch;
+  Gaddr src = kNullAddr;
+  Gaddr dst = kNullAddr;
+};
+
+CrossSetup MakeCross(CleanerMode mode = CleanerMode::kImmediate) {
+  CrossSetup s;
+  s.cluster = std::make_unique<Cluster>(
+      ClusterOptions{.num_nodes = 2, .cleaner_mode = mode});
+  s.m0 = std::make_unique<Mutator>(&s.cluster->node(0));
+  s.m1 = std::make_unique<Mutator>(&s.cluster->node(1));
+  s.b1 = s.cluster->CreateBunch(0);
+  s.b2 = s.cluster->CreateBunch(1);
+  s.dst = s.m1->Alloc(s.b2, 1);
+  s.src = s.m0->Alloc(s.b1, 2);
+  s.m0->AddRoot(s.src);
+  s.m0->WriteRef(s.src, 0, s.dst);  // remote target: scion-message to node 1
+  s.cluster->Pump();
+  return s;
+}
+
+TEST(ScionCleaner, DeletionAfterStubDrop) {
+  CrossSetup s = MakeCross();
+  ASSERT_EQ(s.cluster->node(1).gc().TablesOf(s.b2).inter_scions.size(), 1u);
+
+  s.m0->WriteRef(s.src, 0, kNullAddr);
+  s.cluster->node(0).gc().CollectBunch(s.b1);
+  s.cluster->Pump();
+  EXPECT_TRUE(s.cluster->node(1).gc().TablesOf(s.b2).inter_scions.empty());
+  EXPECT_EQ(s.cluster->node(1).gc().stats().inter_scions_deleted, 1u);
+
+  s.cluster->node(1).gc().CollectBunch(s.b2);
+  EXPECT_GE(s.cluster->node(1).gc().stats().objects_reclaimed, 1u);
+}
+
+TEST(ScionCleaner, SurvivingStubKeepsScion) {
+  CrossSetup s = MakeCross();
+  s.cluster->node(0).gc().CollectBunch(s.b1);
+  s.cluster->Pump();
+  EXPECT_EQ(s.cluster->node(1).gc().TablesOf(s.b2).inter_scions.size(), 1u);
+  s.cluster->node(1).gc().CollectBunch(s.b2);
+  EXPECT_EQ(s.cluster->node(1).gc().stats().objects_reclaimed, 0u);
+}
+
+TEST(ScionCleaner, StaleTableIsIgnored) {
+  CrossSetup s = MakeCross();
+  // Deliver a *stale* (version 0 would be below the first BGC's version 1)
+  // empty table after a legitimate one.
+  s.cluster->node(0).gc().CollectBunch(s.b1);
+  s.cluster->Pump();
+  ASSERT_EQ(s.cluster->node(1).gc().TablesOf(s.b2).inter_scions.size(), 1u);
+
+  auto stale = std::make_shared<ReachabilityTablePayload>();
+  stale->src_node = 0;
+  stale->bunch = s.b1;
+  stale->version = 1;  // same as the already-seen version -> stale
+  // empty stub list would delete the scion if it were accepted
+  s.cluster->network().Send(0, 1, std::move(stale));
+  s.cluster->Pump();
+  EXPECT_EQ(s.cluster->node(1).gc().TablesOf(s.b2).inter_scions.size(), 1u);
+  EXPECT_GE(s.cluster->node(1).gc().stats().tables_ignored_stale, 1u);
+}
+
+TEST(ScionCleaner, TablesSurviveLossBecauseResendIsIdempotent) {
+  CrossSetup s = MakeCross();
+  s.m0->WriteRef(s.src, 0, kNullAddr);
+
+  // Drop ALL unreliable traffic for the first collection: the table is lost.
+  s.cluster->network().set_loss_rate(1.0);
+  s.cluster->node(0).gc().CollectBunch(s.b1);
+  s.cluster->Pump();
+  EXPECT_EQ(s.cluster->node(1).gc().TablesOf(s.b2).inter_scions.size(), 1u);
+
+  // Network heals; the next BGC resends the full table — no state was lost.
+  s.cluster->network().set_loss_rate(0.0);
+  s.cluster->node(0).gc().CollectBunch(s.b1);
+  s.cluster->Pump();
+  EXPECT_TRUE(s.cluster->node(1).gc().TablesOf(s.b2).inter_scions.empty());
+}
+
+TEST(ScionCleaner, DuplicatedTablesAreHarmless) {
+  CrossSetup s = MakeCross();
+  s.cluster->network().set_duplication_rate(1.0);
+  s.cluster->node(0).gc().CollectBunch(s.b1);
+  s.cluster->Pump();
+  // Stub alive: scion must survive double delivery.
+  EXPECT_EQ(s.cluster->node(1).gc().TablesOf(s.b2).inter_scions.size(), 1u);
+  EXPECT_GE(s.cluster->node(1).gc().stats().tables_ignored_stale, 1u);
+}
+
+TEST(ScionCleaner, DeferredModeProcessesAtNextCollection) {
+  CrossSetup s = MakeCross(CleanerMode::kDeferred);
+  s.m0->WriteRef(s.src, 0, kNullAddr);
+  s.cluster->node(0).gc().CollectBunch(s.b1);
+  s.cluster->Pump();
+  // Table delivered but parked; the scion still stands.
+  EXPECT_EQ(s.cluster->node(1).gc().TablesOf(s.b2).inter_scions.size(), 1u);
+  EXPECT_GE(s.cluster->node(1).gc().stats().tables_deferred, 1u);
+
+  // The next local collection processes the backlog first (§6.1), so the
+  // same run already reclaims the object.
+  s.cluster->node(1).gc().CollectBunch(s.b2);
+  EXPECT_TRUE(s.cluster->node(1).gc().TablesOf(s.b2).inter_scions.empty());
+  EXPECT_GE(s.cluster->node(1).gc().stats().objects_reclaimed, 1u);
+}
+
+// §6.2's full narrative: O1 cached on N1 (mutator), N2 (owner, intra stub to
+// N3), N3 (intra scion).  Deleting N1's reference must unravel everything,
+// in the order the paper describes.
+TEST(ScionCleaner, IntraBunchSspDeletionCascade) {
+  Cluster cluster({.num_nodes = 3});
+  Mutator m1(&cluster.node(0));  // paper's N1
+  Mutator m2(&cluster.node(1));  // paper's N2
+  Mutator m3(&cluster.node(2));  // paper's N3
+  BunchId b = cluster.CreateBunch(2);
+  BunchId other = cluster.CreateBunch(2);
+
+  // N3 creates O1 and an inter-bunch reference out of it (so N3 holds an
+  // inter-bunch stub for O1); the target lives in `other`.
+  Gaddr o1 = m3.Alloc(b, 2);
+  Gaddr out = m3.Alloc(other, 1);
+  m3.AddRoot(out);
+  m3.WriteRef(o1, 0, out);
+
+  // Ownership moves N3 -> N2: invariant 3 creates the intra SSP
+  // (stub at N2, scion at N3).
+  ASSERT_TRUE(m2.AcquireWrite(o1));
+  m2.Release(o1);
+  ASSERT_EQ(cluster.node(1).gc().TablesOf(b).intra_stubs.size(), 1u);
+  ASSERT_EQ(cluster.node(2).gc().TablesOf(b).intra_scions.size(), 1u);
+
+  // N1 caches and roots O1.
+  ASSERT_TRUE(m1.AcquireRead(o1));
+  m1.Release(o1);
+  size_t root = m1.AddRoot(o1);
+  Oid oid = OidOf(cluster.node(0), o1);
+
+  // N3 drops its mutator root on O1 (it has none) and collects: O1 survives
+  // there via the intra scion (weak), and — critically — emits NO exiting
+  // ownerPtr, breaking the would-be cycle (§6.2).
+  cluster.node(2).gc().CollectBunch(b);
+  cluster.Pump();
+  EXPECT_EQ(cluster.node(1).dsm().EnteringFor(b).count(oid), 1u);
+  EXPECT_FALSE(cluster.node(1).dsm().EnteringFor(b).at(oid).count(2) > 0)
+      << "weak-only replica at N3 must not contribute an entering ownerPtr";
+
+  // N1 drops its root; its BGC stops reporting the exiting ownerPtr; the
+  // cleaner at N2 removes the last entering entry.
+  m1.ClearRoot(root);
+  cluster.node(0).gc().CollectBunch(b);
+  cluster.Pump();
+  EXPECT_EQ(cluster.node(1).dsm().EnteringFor(b).count(oid), 0u);
+
+  // N2's next BGC finds O1 unreachable, reclaims it, drops the intra stub;
+  // the cleaner at N3 deletes the intra scion.
+  cluster.node(1).gc().CollectBunch(b);
+  cluster.Pump();
+  EXPECT_GE(cluster.node(1).gc().stats().objects_reclaimed, 1u);
+  EXPECT_TRUE(cluster.node(1).gc().TablesOf(b).intra_stubs.empty());
+  EXPECT_TRUE(cluster.node(2).gc().TablesOf(b).intra_scions.empty());
+
+  // Finally N3 reclaims its replica too, and the inter-bunch stub out of O1
+  // dies with it.
+  cluster.node(2).gc().CollectBunch(b);
+  EXPECT_GE(cluster.node(2).gc().stats().objects_reclaimed, 1u);
+  EXPECT_TRUE(cluster.node(2).gc().TablesOf(b).inter_stubs.empty());
+}
+
+}  // namespace
+}  // namespace bmx

@@ -1,0 +1,169 @@
+// The paper's central claim (§8/§10), tested head-on: "the BGC never
+// acquires a token for any object, and consequently does not interfere with
+// the DSM consistency protocol", and "information exchanged among nodes is
+// either piggy-backed onto messages due to the consistency protocol, or
+// exchanged in the background."
+//
+// Method: freeze the DSM statistics and the network's per-kind counters,
+// run collections of every flavour, and take a census of exactly which
+// messages and token transitions the collector caused.
+
+#include <gtest/gtest.h>
+
+#include "src/runtime/cluster.h"
+#include "src/runtime/mutator.h"
+#include "src/workload/graph_builder.h"
+
+namespace bmx {
+namespace {
+
+struct Census {
+  uint64_t gc_tokens = 0;
+  uint64_t invalidations = 0;
+  uint64_t dsm_messages = 0;
+  uint64_t gc_background_messages = 0;
+  uint64_t gc_foreground_messages = 0;
+};
+
+Census TakeCensus(Cluster& cluster, size_t nodes) {
+  Census census;
+  for (size_t n = 0; n < nodes; ++n) {
+    census.gc_tokens += cluster.node(n).dsm().GcTokenAcquires();
+    census.invalidations += cluster.node(n).dsm().stats().read_copies_invalidated;
+  }
+  census.dsm_messages = cluster.network().stats().SentInCategory(MsgCategory::kDsm);
+  census.gc_background_messages =
+      cluster.network().stats().SentInCategory(MsgCategory::kGcBackground);
+  census.gc_foreground_messages =
+      cluster.network().stats().SentInCategory(MsgCategory::kGcForeground);
+  return census;
+}
+
+class InterferenceTest : public ::testing::Test {
+ protected:
+  static constexpr size_t kNodes = 3;
+
+  void SetUp() override {
+    cluster_ = std::make_unique<Cluster>(ClusterOptions{.num_nodes = kNodes});
+    for (size_t i = 0; i < kNodes; ++i) {
+      mutators_.push_back(std::make_unique<Mutator>(&cluster_->node(i)));
+    }
+    bunch_ = cluster_->CreateBunch(0);
+    other_ = cluster_->CreateBunch(0);
+    GraphBuilder builder(cluster_.get(), mutators_[0].get());
+    head_ = builder.BuildList(bunch_, 30);
+    mutators_[0]->AddRoot(head_);
+    // Cross-bunch references so SSP machinery is in play.
+    Gaddr ext = mutators_[0]->Alloc(other_, 1);
+    mutators_[0]->AddRoot(ext);
+    mutators_[0]->WriteRef(head_, 1, ext);
+    // Every node caches the full list.
+    for (size_t n = 1; n < kNodes; ++n) {
+      Gaddr cur = head_;
+      while (cur != kNullAddr) {
+        EXPECT_TRUE(mutators_[n]->AcquireRead(cur));
+        Gaddr next = mutators_[n]->ReadRef(cur, 0);
+        mutators_[n]->Release(cur);
+        cur = next;
+      }
+      mutators_[n]->AddRoot(head_);
+    }
+    cluster_->Pump();
+    // Freeze counters.
+    cluster_->network().ResetStats();
+    for (size_t n = 0; n < kNodes; ++n) {
+      cluster_->node(n).dsm().ResetStats();
+    }
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+  std::vector<std::unique_ptr<Mutator>> mutators_;
+  BunchId bunch_ = kInvalidBunch, other_ = kInvalidBunch;
+  Gaddr head_ = kNullAddr;
+};
+
+TEST_F(InterferenceTest, BgcCausesNoDsmTrafficAtAll) {
+  cluster_->node(0).gc().CollectBunch(bunch_);
+  cluster_->Pump();
+  Census census = TakeCensus(*cluster_, kNodes);
+  EXPECT_EQ(census.gc_tokens, 0u);
+  EXPECT_EQ(census.invalidations, 0u);
+  // Not one message of the consistency protocol moved on GC's behalf.
+  EXPECT_EQ(census.dsm_messages, 0u);
+  EXPECT_EQ(census.gc_foreground_messages, 0u);
+  // Background traffic is allowed: reachability tables.
+  EXPECT_GT(census.gc_background_messages, 0u);
+}
+
+TEST_F(InterferenceTest, AllNodesCollectingStillZeroDsmTraffic) {
+  for (size_t n = 0; n < kNodes; ++n) {
+    cluster_->node(n).gc().CollectBunch(bunch_);
+    cluster_->Pump();
+  }
+  Census census = TakeCensus(*cluster_, kNodes);
+  EXPECT_EQ(census.gc_tokens, 0u);
+  EXPECT_EQ(census.invalidations, 0u);
+  EXPECT_EQ(census.dsm_messages, 0u);
+}
+
+TEST_F(InterferenceTest, GgcIsEquallySilent) {
+  for (size_t n = 0; n < kNodes; ++n) {
+    cluster_->node(n).gc().CollectGroup();
+    cluster_->Pump();
+  }
+  Census census = TakeCensus(*cluster_, kNodes);
+  EXPECT_EQ(census.gc_tokens, 0u);
+  EXPECT_EQ(census.invalidations, 0u);
+  EXPECT_EQ(census.dsm_messages, 0u);
+}
+
+TEST_F(InterferenceTest, ReadersKeepTheirTokensThroughCollections) {
+  // Every remote replica's read token survives the owner's collection:
+  // re-reading the working set needs zero messages.
+  cluster_->node(0).gc().CollectBunch(bunch_);
+  cluster_->Pump();
+  cluster_->network().ResetStats();
+  for (size_t n = 1; n < kNodes; ++n) {
+    Gaddr cur = cluster_->node(n).dsm().LocalCopyOf(head_);
+    while (cur != kNullAddr) {
+      EXPECT_TRUE(mutators_[n]->AcquireRead(cur));
+      Gaddr next = mutators_[n]->ReadRef(cur, 0);
+      mutators_[n]->Release(cur);
+      cur = next;
+    }
+  }
+  EXPECT_EQ(cluster_->network().stats().TotalSent(), 0u);
+}
+
+TEST_F(InterferenceTest, ReclamationUsesOnlyBackgroundMessages) {
+  cluster_->node(0).gc().CollectBunch(bunch_);
+  cluster_->Pump();
+  cluster_->network().ResetStats();
+  cluster_->node(0).gc().ReclaimFromSpaces(bunch_);
+  cluster_->Pump();
+  Census census = TakeCensus(*cluster_, kNodes);
+  EXPECT_EQ(census.gc_tokens, 0u);
+  EXPECT_EQ(census.gc_foreground_messages, 0u);
+  EXPECT_GT(census.gc_background_messages, 0u);  // §4.5's explicit messages
+}
+
+TEST_F(InterferenceTest, MutatorWritesProceedBetweenCollections) {
+  // Interleave mutation with collections on every node; all writes commit
+  // and the structure stays intact.
+  for (int round = 0; round < 5; ++round) {
+    NodeId writer = round % kNodes;
+    ASSERT_TRUE(mutators_[writer]->AcquireWrite(head_));
+    mutators_[writer]->WriteWord(head_, 1, 5000 + round);
+    mutators_[writer]->Release(head_);
+    cluster_->node((round + 1) % kNodes).gc().CollectBunch(bunch_);
+    cluster_->Pump();
+  }
+  ASSERT_TRUE(mutators_[0]->AcquireRead(head_));
+  EXPECT_EQ(mutators_[0]->ReadWord(head_, 1), 5004u);
+  mutators_[0]->Release(head_);
+  Census census = TakeCensus(*cluster_, kNodes);
+  EXPECT_EQ(census.gc_tokens, 0u);
+}
+
+}  // namespace
+}  // namespace bmx

@@ -1,0 +1,129 @@
+// GC statistics accounting, and the cleaner-mode × loss × GGC combinations
+// not covered elsewhere.
+
+#include <gtest/gtest.h>
+
+#include "src/runtime/cluster.h"
+#include "src/runtime/mutator.h"
+#include "src/workload/graph_builder.h"
+
+namespace bmx {
+namespace {
+
+TEST(GcStats, CountersTrackOneCollection) {
+  Cluster cluster({.num_nodes = 1});
+  Mutator m(&cluster.node(0));
+  GraphBuilder builder(&cluster, &m);
+  BunchId bunch = cluster.CreateBunch(0);
+  Gaddr head = builder.BuildList(bunch, 10);
+  m.AddRoot(head);
+  builder.BuildList(bunch, 5);  // garbage
+
+  cluster.node(0).gc().CollectBunch(bunch);
+  const GcStats& stats = cluster.node(0).gc().stats();
+  EXPECT_EQ(stats.bgc_runs, 1u);
+  EXPECT_EQ(stats.ggc_runs, 0u);
+  EXPECT_EQ(stats.objects_copied, 10u);
+  EXPECT_EQ(stats.objects_reclaimed, 5u);
+  EXPECT_EQ(stats.bytes_copied, 10 * ObjectFootprintBytes(2));
+  EXPECT_EQ(stats.bytes_reclaimed, 5 * ObjectFootprintBytes(2));
+  // 9 next-pointers re-pointed to to-space (the 10th is null).
+  EXPECT_EQ(stats.refs_updated_locally, 9u);
+
+  cluster.node(0).gc().ResetStats();
+  EXPECT_EQ(cluster.node(0).gc().stats().bgc_runs, 0u);
+}
+
+TEST(GcStats, BarrierAndSspCounters) {
+  Cluster cluster({.num_nodes = 1});
+  Mutator m(&cluster.node(0));
+  BunchId b1 = cluster.CreateBunch(0);
+  BunchId b2 = cluster.CreateBunch(0);
+  Gaddr a = m.Alloc(b1, 3);
+  Gaddr c = m.Alloc(b1, 1);
+  Gaddr x = m.Alloc(b2, 1);
+  m.WriteWord(a, 2, 1);   // barrier_writes++
+  m.WriteRef(a, 0, c);    // intra-bunch: barrier only
+  m.WriteRef(a, 1, x);    // inter-bunch: stub + scion
+  const GcStats& stats = cluster.node(0).gc().stats();
+  EXPECT_EQ(stats.barrier_writes, 3u);
+  EXPECT_EQ(stats.barrier_inter_bunch, 1u);
+  EXPECT_EQ(stats.inter_stubs_created, 1u);
+  EXPECT_EQ(stats.inter_scions_created, 1u);
+  EXPECT_EQ(stats.scion_messages_sent, 0u);
+}
+
+TEST(GcStats, TableCountersUnderDuplication) {
+  Cluster cluster({.num_nodes = 2});
+  Mutator m0(&cluster.node(0));
+  Mutator m1(&cluster.node(1));
+  BunchId bunch = cluster.CreateBunch(0);
+  Gaddr a = m0.Alloc(bunch, 1);
+  m0.AddRoot(a);
+  ASSERT_TRUE(m1.AcquireRead(a));
+  m1.Release(a);
+  m1.AddRoot(a);
+
+  cluster.network().set_duplication_rate(1.0);
+  cluster.node(1).gc().CollectBunch(bunch);
+  cluster.Pump();
+  // Every table arrived twice: once processed, once rejected as stale.
+  const GcStats& stats = cluster.node(0).gc().stats();
+  EXPECT_GE(stats.tables_processed, 1u);
+  EXPECT_GE(stats.tables_ignored_stale, 1u);
+}
+
+TEST(CleanerModes, DeferredPlusLossStillConverges) {
+  Cluster cluster({.num_nodes = 2, .cleaner_mode = CleanerMode::kDeferred, .seed = 17});
+  Mutator m0(&cluster.node(0));
+  Mutator m1(&cluster.node(1));
+  BunchId b1 = cluster.CreateBunch(0);
+  BunchId b2 = cluster.CreateBunch(1);
+  Gaddr target = m1.Alloc(b2, 1);
+  Gaddr src = m0.Alloc(b1, 2);
+  m0.AddRoot(src);
+  m0.WriteRef(src, 0, target);
+  cluster.Pump();
+  m0.WriteRef(src, 0, kNullAddr);
+
+  cluster.network().set_loss_rate(0.3);
+  bool reclaimed = false;
+  for (int round = 0; round < 40 && !reclaimed; ++round) {
+    cluster.node(0).gc().CollectBunch(b1);
+    cluster.Pump();
+    cluster.node(1).gc().CollectBunch(b2);  // deferred tables drain here
+    cluster.Pump();
+    reclaimed = cluster.node(1).gc().stats().objects_reclaimed > 0;
+  }
+  EXPECT_TRUE(reclaimed);
+  EXPECT_GT(cluster.node(1).gc().stats().tables_deferred, 0u);
+}
+
+TEST(CleanerModes, GgcWithDeferredCleanerCollectsCycles) {
+  Cluster cluster({.num_nodes = 1, .cleaner_mode = CleanerMode::kDeferred});
+  Mutator m(&cluster.node(0));
+  GraphBuilder builder(&cluster, &m);
+  BunchId b1 = cluster.CreateBunch(0);
+  BunchId b2 = cluster.CreateBunch(0);
+  builder.BuildCrossBunchCycle({b1, b2});
+  cluster.node(0).gc().CollectGroup();
+  EXPECT_EQ(cluster.node(0).gc().stats().objects_reclaimed, 2u);
+}
+
+TEST(GcStats, ReclaimCountersRoundTrip) {
+  Cluster cluster({.num_nodes = 1});
+  Mutator m(&cluster.node(0));
+  BunchId bunch = cluster.CreateBunch(0);
+  Gaddr a = m.Alloc(bunch, 1);
+  m.AddRoot(a);
+  cluster.node(0).gc().CollectBunch(bunch);
+  cluster.node(0).gc().ReclaimFromSpaces(bunch);
+  cluster.Pump();
+  const GcStats& stats = cluster.node(0).gc().stats();
+  EXPECT_EQ(stats.reclaim_rounds, 1u);
+  EXPECT_EQ(stats.segments_freed, 1u);
+  EXPECT_EQ(stats.copy_requests_sent, 0u);  // single node: nothing stranded
+}
+
+}  // namespace
+}  // namespace bmx

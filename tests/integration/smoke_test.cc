@@ -1,0 +1,239 @@
+// End-to-end smoke tests: allocation, cross-node sharing through entry
+// consistency, write-barrier SSP creation, independent BGCs, lazy address
+// propagation via acquire piggybacks, and the scion-cleaner cascade.
+
+#include <gtest/gtest.h>
+
+#include "src/runtime/cluster.h"
+#include "src/runtime/mutator.h"
+
+namespace bmx {
+namespace {
+
+TEST(Smoke, AllocateAndAccessLocally) {
+  Cluster cluster({.num_nodes = 1});
+  Mutator m(&cluster.node(0));
+  BunchId bunch = cluster.CreateBunch(0);
+
+  Gaddr a = m.Alloc(bunch, 4);
+  ASSERT_NE(a, kNullAddr);
+  ASSERT_TRUE(m.AcquireWrite(a));
+  m.WriteWord(a, 0, 42);
+  m.WriteWord(a, 1, 43);
+  m.Release(a);
+
+  ASSERT_TRUE(m.AcquireRead(a));
+  EXPECT_EQ(m.ReadWord(a, 0), 42u);
+  EXPECT_EQ(m.ReadWord(a, 1), 43u);
+  m.Release(a);
+}
+
+TEST(Smoke, CrossNodeReadAndWrite) {
+  Cluster cluster({.num_nodes = 2});
+  Mutator m0(&cluster.node(0));
+  Mutator m1(&cluster.node(1));
+  BunchId bunch = cluster.CreateBunch(0);
+
+  Gaddr a = m0.Alloc(bunch, 2);
+  ASSERT_TRUE(m0.AcquireWrite(a));
+  m0.WriteWord(a, 0, 7);
+  m0.Release(a);
+
+  // Node 1 reads the object: token + bytes travel.
+  ASSERT_TRUE(m1.AcquireRead(a));
+  EXPECT_EQ(m1.ReadWord(a, 0), 7u);
+  m1.Release(a);
+
+  // Node 1 takes the write token: node 0's read copy is invalidated and
+  // ownership moves.
+  ASSERT_TRUE(m1.AcquireWrite(a));
+  m1.WriteWord(a, 0, 8);
+  m1.Release(a);
+  EXPECT_TRUE(cluster.node(1).dsm().IsLocallyOwned(
+      cluster.node(1).store().HeaderOf(cluster.node(1).dsm().ResolveAddr(a))->oid));
+
+  // Node 0 re-reads and sees the new value.
+  ASSERT_TRUE(m0.AcquireRead(a));
+  EXPECT_EQ(m0.ReadWord(a, 0), 8u);
+  m0.Release(a);
+}
+
+TEST(Smoke, WriteBarrierCreatesLocalSsp) {
+  Cluster cluster({.num_nodes = 1});
+  Mutator m(&cluster.node(0));
+  BunchId b1 = cluster.CreateBunch(0);
+  BunchId b2 = cluster.CreateBunch(0);
+
+  Gaddr src = m.Alloc(b1, 2);
+  Gaddr dst = m.Alloc(b2, 1);
+  ASSERT_TRUE(m.AcquireWrite(src));
+  m.WriteRef(src, 0, dst);
+  m.Release(src);
+
+  auto t1 = cluster.node(0).gc().TablesOf(b1);
+  auto t2 = cluster.node(0).gc().TablesOf(b2);
+  ASSERT_EQ(t1.inter_stubs.size(), 1u);
+  EXPECT_EQ(t1.inter_stubs[0].target_bunch, b2);
+  ASSERT_EQ(t2.inter_scions.size(), 1u);
+  EXPECT_EQ(t2.inter_scions[0].stub_id, t1.inter_stubs[0].id);
+}
+
+TEST(Smoke, BgcCopiesOwnedAndPreservesGraph) {
+  Cluster cluster({.num_nodes = 1});
+  Mutator m(&cluster.node(0));
+  BunchId bunch = cluster.CreateBunch(0);
+
+  // head -> mid -> tail, plus garbage.
+  Gaddr head = m.Alloc(bunch, 2);
+  Gaddr mid = m.Alloc(bunch, 2);
+  Gaddr tail = m.Alloc(bunch, 2);
+  Gaddr garbage = m.Alloc(bunch, 2);
+  (void)garbage;
+  ASSERT_TRUE(m.AcquireWrite(head));
+  m.WriteRef(head, 0, mid);
+  m.WriteWord(head, 1, 100);
+  m.Release(head);
+  ASSERT_TRUE(m.AcquireWrite(mid));
+  m.WriteRef(mid, 0, tail);
+  m.WriteWord(mid, 1, 200);
+  m.Release(mid);
+  ASSERT_TRUE(m.AcquireWrite(tail));
+  m.WriteWord(tail, 1, 300);
+  m.Release(tail);
+  size_t root = m.AddRoot(head);
+
+  cluster.node(0).gc().CollectBunch(bunch);
+
+  const GcStats& stats = cluster.node(0).gc().stats();
+  EXPECT_EQ(stats.objects_copied, 3u);
+  EXPECT_EQ(stats.objects_reclaimed, 1u);
+
+  // The graph survives; the root was updated to the to-space copy.
+  Gaddr new_head = m.Root(root);
+  EXPECT_NE(new_head, head);
+  EXPECT_TRUE(m.SameObject(new_head, head));
+  ASSERT_TRUE(m.AcquireRead(new_head));
+  EXPECT_EQ(m.ReadWord(new_head, 1), 100u);
+  Gaddr new_mid = m.ReadRef(new_head, 0);
+  m.Release(new_head);
+  ASSERT_TRUE(m.AcquireRead(new_mid));
+  EXPECT_EQ(m.ReadWord(new_mid, 1), 200u);
+  Gaddr new_tail = m.ReadRef(new_mid, 0);
+  m.Release(new_mid);
+  ASSERT_TRUE(m.AcquireRead(new_tail));
+  EXPECT_EQ(m.ReadWord(new_tail, 1), 300u);
+  m.Release(new_tail);
+}
+
+TEST(Smoke, ReplicaLearnsNewAddressAtAcquire) {
+  Cluster cluster({.num_nodes = 2});
+  Mutator m0(&cluster.node(0));
+  Mutator m1(&cluster.node(1));
+  BunchId bunch = cluster.CreateBunch(0);
+
+  Gaddr a = m0.Alloc(bunch, 2);
+  Gaddr b = m0.Alloc(bunch, 2);
+  ASSERT_TRUE(m0.AcquireWrite(a));
+  m0.WriteRef(a, 0, b);
+  m0.Release(a);
+  ASSERT_TRUE(m0.AcquireWrite(b));
+  m0.WriteWord(b, 1, 55);
+  m0.Release(b);
+  m0.AddRoot(a);
+
+  // Node 1 caches both objects.
+  ASSERT_TRUE(m1.AcquireRead(a));
+  Gaddr b_at_1 = m1.ReadRef(a, 0);
+  m1.Release(a);
+  ASSERT_TRUE(m1.AcquireRead(b_at_1));
+  m1.Release(b_at_1);
+  m1.AddRoot(a);
+
+  // Node 0 collects: both objects (locally owned) move.  Node 1 is *not*
+  // informed — addresses diverge, which entry consistency tolerates (§4.2).
+  cluster.node(0).gc().CollectBunch(bunch);
+  EXPECT_EQ(cluster.node(0).gc().stats().objects_copied, 2u);
+
+  // Invariant 1 (§5): when node 1 synchronizes on `a`, the reply carries the
+  // new locations of `a` and of everything `a` references.
+  ASSERT_TRUE(m1.AcquireRead(a));
+  Gaddr b_new = m1.ReadRef(a, 0);
+  m1.Release(a);
+  EXPECT_TRUE(m1.SameObject(b_new, b));
+  ASSERT_TRUE(m1.AcquireRead(b_new));
+  EXPECT_EQ(m1.ReadWord(b_new, 1), 55u);
+  m1.Release(b_new);
+}
+
+TEST(Smoke, GcNeverAcquiresTokens) {
+  Cluster cluster({.num_nodes = 2});
+  Mutator m0(&cluster.node(0));
+  Mutator m1(&cluster.node(1));
+  BunchId bunch = cluster.CreateBunch(0);
+
+  Gaddr a = m0.Alloc(bunch, 2);
+  ASSERT_TRUE(m0.AcquireWrite(a));
+  m0.WriteWord(a, 0, 1);
+  m0.Release(a);
+  m0.AddRoot(a);
+  ASSERT_TRUE(m1.AcquireRead(a));
+  m1.AddRoot(a);
+  m1.Release(a);
+
+  cluster.node(0).dsm().ResetStats();
+  cluster.node(1).dsm().ResetStats();
+  cluster.node(0).gc().CollectBunch(bunch);
+  cluster.node(1).gc().CollectBunch(bunch);
+  cluster.Pump();
+
+  EXPECT_EQ(cluster.node(0).dsm().GcTokenAcquires(), 0u);
+  EXPECT_EQ(cluster.node(1).dsm().GcTokenAcquires(), 0u);
+  EXPECT_EQ(cluster.node(0).dsm().stats().read_copies_invalidated, 0u);
+  EXPECT_EQ(cluster.node(1).dsm().stats().read_copies_invalidated, 0u);
+}
+
+TEST(Smoke, ScionCleanerCascadeReclaimsRemoteScion) {
+  Cluster cluster({.num_nodes = 2});
+  Mutator m0(&cluster.node(0));
+  Mutator m1(&cluster.node(1));
+  BunchId b1 = cluster.CreateBunch(0);
+  BunchId b2 = cluster.CreateBunch(1);
+
+  // Node 1 allocates target object in b2; node 0 references it from b1.
+  Gaddr target = m1.Alloc(b2, 1);
+  ASSERT_TRUE(m1.AcquireWrite(target));
+  m1.WriteWord(target, 0, 9);
+  m1.Release(target);
+
+  Gaddr src = m0.Alloc(b1, 2);
+  size_t root = m0.AddRoot(src);
+  ASSERT_TRUE(m0.AcquireRead(target));  // fault the target in
+  m0.Release(target);
+  ASSERT_TRUE(m0.AcquireWrite(src));
+  m0.WriteRef(src, 0, target);
+  m0.Release(src);
+  cluster.Pump();
+
+  // The target object has a local replica at node 0 now; the stub/scion was
+  // created locally at node 0 (both bunches mapped there after the fault).
+  auto tables0 = cluster.node(0).gc().TablesOf(b1);
+  ASSERT_EQ(tables0.inter_stubs.size(), 1u);
+
+  // Drop the reference: next BGC drops the stub, the cleaner deletes the
+  // scion, and the following BGC of b2 reclaims the target at node 1.
+  ASSERT_TRUE(m0.AcquireWrite(src));
+  m0.WriteRef(src, 0, kNullAddr);
+  m0.Release(src);
+  (void)root;
+
+  cluster.node(0).gc().CollectBunch(b1);
+  cluster.node(0).gc().CollectBunch(b2);  // node 0's replica of b2
+  cluster.Pump();
+  cluster.node(1).gc().CollectBunch(b2);
+  cluster.Pump();
+
+  EXPECT_GE(cluster.node(1).gc().stats().objects_reclaimed, 1u);
+}
+
+}  // namespace
+}  // namespace bmx

@@ -1,0 +1,121 @@
+// Long-horizon stress: the bmx_sim workload as a parameterized test.  Random
+// token traffic, ownership migration, interleaved BGC/GGC/reclamation and
+// (in some configs) GC-table message loss, followed by a full integrity walk
+// from every node.  This matrix is what shook out the deep routing and
+// address-bookkeeping bugs during development; it guards against regressions
+// in the interplay of all subsystems at once.
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/runtime/cluster.h"
+#include "src/runtime/mutator.h"
+
+namespace bmx {
+namespace {
+
+struct StressParams {
+  size_t nodes;
+  size_t objects;
+  size_t rounds;
+  uint64_t seed;
+  bool distributed;
+  bool ggc;
+  double loss;
+};
+
+class StressTest : public ::testing::TestWithParam<StressParams> {};
+
+TEST_P(StressTest, WorkloadSurvives) {
+  const StressParams& p = GetParam();
+  Cluster cluster({.num_nodes = p.nodes,
+                   .copyset_mode = p.distributed ? CopySetMode::kDistributed
+                                                 : CopySetMode::kCentralized,
+                   .seed = p.seed});
+  cluster.network().set_loss_rate(p.loss);
+  std::vector<std::unique_ptr<Mutator>> mutators;
+  for (size_t i = 0; i < p.nodes; ++i) {
+    mutators.push_back(std::make_unique<Mutator>(&cluster.node(i)));
+  }
+  BunchId bunch = cluster.CreateBunch(0);
+  Rng rng(p.seed);
+
+  std::vector<Gaddr> objects;
+  for (size_t i = 0; i < p.objects; ++i) {
+    objects.push_back(mutators[0]->Alloc(bunch, 3));
+  }
+  for (size_t i = 0; i + 1 < p.objects; ++i) {
+    mutators[0]->WriteRef(objects[i], 0, objects[i + 1]);
+  }
+  mutators[0]->AddRoot(objects[0]);
+
+  for (size_t round = 0; round < p.rounds; ++round) {
+    NodeId writer = static_cast<NodeId>(rng.Below(p.nodes));
+    Gaddr victim = objects[rng.Below(objects.size())];
+    if (mutators[writer]->AcquireWrite(victim)) {
+      mutators[writer]->WriteRef(victim, 1, objects[rng.Below(objects.size())]);
+      mutators[writer]->WriteWord(victim, 2, round);
+      mutators[writer]->Release(victim);
+    }
+    for (int r = 0; r < 2; ++r) {
+      NodeId reader = static_cast<NodeId>(rng.Below(p.nodes));
+      Gaddr obj = objects[rng.Below(objects.size())];
+      if (mutators[reader]->AcquireRead(obj)) {
+        mutators[reader]->Release(obj);
+      }
+    }
+    if (rng.Chance(0.2)) {
+      NodeId collector = static_cast<NodeId>(rng.Below(p.nodes));
+      if (p.ggc) {
+        cluster.node(collector).gc().CollectGroup();
+      } else {
+        cluster.node(collector).gc().CollectBunch(bunch);
+      }
+      if (rng.Chance(0.5)) {
+        cluster.node(collector).gc().ReclaimFromSpaces(bunch);
+      }
+      cluster.Pump();
+    }
+    for (size_t i = 0; i < objects.size(); ++i) {
+      objects[i] = cluster.node(0).dsm().ResolveAddr(objects[i]);
+    }
+  }
+  cluster.Pump();
+
+  // Integrity: every spine object reachable from every node, collectors
+  // acquired no token anywhere.
+  for (size_t n = 0; n < p.nodes; ++n) {
+    Gaddr cur = objects[0];
+    size_t len = 0;
+    while (cur != kNullAddr) {
+      ASSERT_TRUE(mutators[n]->AcquireRead(cur))
+          << "node " << n << " lost spine object " << len;
+      Gaddr next = mutators[n]->ReadRef(cur, 0);
+      mutators[n]->Release(cur);
+      cur = next;
+      len++;
+    }
+    ASSERT_EQ(len, p.objects) << "node " << n;
+    EXPECT_EQ(cluster.node(n).dsm().GcTokenAcquires(), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, StressTest,
+    ::testing::Values(StressParams{3, 24, 80, 101, false, true, 0.0},
+                      StressParams{5, 32, 100, 102, true, false, 0.0},
+                      StressParams{6, 48, 120, 103, true, true, 0.0},
+                      StressParams{2, 16, 80, 104, false, false, 0.0},
+                      StressParams{4, 24, 100, 105, false, false, 0.10},
+                      StressParams{8, 64, 150, 106, true, true, 0.05},
+                      StressParams{4, 32, 120, 107, false, true, 0.20},
+                      StressParams{6, 40, 120, 108, true, true, 0.10}),
+    [](const ::testing::TestParamInfo<StressParams>& info) {
+      const StressParams& p = info.param;
+      return "n" + std::to_string(p.nodes) + "_s" + std::to_string(p.seed) +
+             (p.distributed ? "_dist" : "_cent") + (p.ggc ? "_ggc" : "_bgc") + "_loss" +
+             std::to_string(int(p.loss * 100));
+    });
+
+}  // namespace
+}  // namespace bmx

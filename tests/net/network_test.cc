@@ -1,0 +1,167 @@
+#include "src/net/network.h"
+
+#include <gtest/gtest.h>
+
+#include "src/gc/payloads.h"
+
+namespace bmx {
+namespace {
+
+// Minimal test payloads: one reliable, one unreliable.
+struct ReliableProbe : public Payload {
+  uint64_t value = 0;
+  MsgKind kind() const override { return MsgKind::kAddressChange; }
+  MsgCategory category() const override { return MsgCategory::kGcBackground; }
+  size_t WireSize() const override { return 8; }
+};
+
+struct UnreliableProbe : public Payload {
+  uint64_t value = 0;
+  MsgKind kind() const override { return MsgKind::kReachabilityTable; }
+  MsgCategory category() const override { return MsgCategory::kGcBackground; }
+  size_t WireSize() const override { return 8; }
+  bool reliable() const override { return false; }
+};
+
+class Recorder : public MessageHandler {
+ public:
+  void HandleMessage(const Message& msg) override {
+    received.push_back(msg);
+    if (reply_to != kInvalidNode && network != nullptr && !replied) {
+      replied = true;
+      network->Send(msg.dst, reply_to, std::make_shared<ReliableProbe>());
+    }
+  }
+  std::vector<Message> received;
+  Network* network = nullptr;
+  NodeId reply_to = kInvalidNode;
+  bool replied = false;
+};
+
+TEST(Network, DeliversInFifoOrderPerChannel) {
+  Network net(1);
+  Recorder r;
+  net.RegisterNode(1, &r);
+  for (uint64_t i = 0; i < 10; ++i) {
+    auto p = std::make_shared<ReliableProbe>();
+    p->value = i;
+    net.Send(0, 1, std::move(p));
+  }
+  net.RunUntilIdle();
+  ASSERT_EQ(r.received.size(), 10u);
+  for (uint64_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(static_cast<const ReliableProbe&>(*r.received[i].payload).value, i);
+    EXPECT_EQ(r.received[i].seq, i);
+  }
+}
+
+TEST(Network, HandlerChainsDrainCompletely) {
+  Network net(1);
+  Recorder a;
+  Recorder b;
+  a.network = &net;
+  a.reply_to = 2;
+  net.RegisterNode(1, &a);
+  net.RegisterNode(2, &b);
+  net.Send(0, 1, std::make_shared<ReliableProbe>());
+  net.RunUntilIdle();
+  EXPECT_EQ(a.received.size(), 1u);
+  EXPECT_EQ(b.received.size(), 1u);
+  EXPECT_TRUE(net.Idle());
+}
+
+TEST(Network, ReliablePayloadsNeverDropped) {
+  Network net(99);
+  Recorder r;
+  net.RegisterNode(1, &r);
+  net.set_loss_rate(1.0);  // drop everything droppable
+  for (int i = 0; i < 50; ++i) {
+    net.Send(0, 1, std::make_shared<ReliableProbe>());
+  }
+  net.RunUntilIdle();
+  EXPECT_EQ(r.received.size(), 50u);
+}
+
+TEST(Network, UnreliablePayloadsDropAtConfiguredRate) {
+  Network net(99);
+  Recorder r;
+  net.RegisterNode(1, &r);
+  net.set_loss_rate(0.5);
+  for (int i = 0; i < 400; ++i) {
+    net.Send(0, 1, std::make_shared<UnreliableProbe>());
+  }
+  net.RunUntilIdle();
+  // Statistically ~200; accept a broad band (deterministic for the seed).
+  EXPECT_GT(r.received.size(), 120u);
+  EXPECT_LT(r.received.size(), 280u);
+  EXPECT_EQ(net.stats().For(MsgKind::kReachabilityTable).dropped +
+                net.stats().For(MsgKind::kReachabilityTable).delivered,
+            400u);
+}
+
+TEST(Network, DuplicationOnlyAffectsUnreliable) {
+  Network net(7);
+  Recorder r;
+  net.RegisterNode(1, &r);
+  net.set_duplication_rate(1.0);
+  net.Send(0, 1, std::make_shared<UnreliableProbe>());
+  net.Send(0, 1, std::make_shared<ReliableProbe>());
+  net.RunUntilIdle();
+  EXPECT_EQ(r.received.size(), 3u);  // unreliable duplicated, reliable not
+}
+
+TEST(Network, StatsAccounting) {
+  Network net(1);
+  Recorder r;
+  net.RegisterNode(1, &r);
+  net.Send(0, 1, std::make_shared<ReliableProbe>());
+  net.Send(0, 1, std::make_shared<UnreliableProbe>());
+  net.RunUntilIdle();
+  EXPECT_EQ(net.stats().TotalSent(), 2u);
+  EXPECT_EQ(net.stats().TotalBytes(), 16u);
+  EXPECT_EQ(net.stats().For(MsgKind::kAddressChange).sent, 1u);
+  EXPECT_EQ(net.stats().SentInCategory(MsgCategory::kGcBackground), 2u);
+  EXPECT_EQ(net.stats().SentInCategory(MsgCategory::kDsm), 0u);
+  net.ResetStats();
+  EXPECT_EQ(net.stats().TotalSent(), 0u);
+}
+
+TEST(Network, DisconnectDropsQueuedTraffic) {
+  Network net(1);
+  Recorder r;
+  net.RegisterNode(1, &r);
+  net.Send(0, 1, std::make_shared<ReliableProbe>());
+  net.Send(1, 0, std::make_shared<ReliableProbe>());
+  net.DisconnectNode(1);
+  net.RunUntilIdle();
+  EXPECT_TRUE(r.received.empty());
+  EXPECT_TRUE(net.Idle());
+}
+
+TEST(Network, MessageToUnregisteredNodeIsLostQuietly) {
+  Network net(1);
+  net.Send(0, 9, std::make_shared<ReliableProbe>());
+  net.RunUntilIdle();
+  EXPECT_TRUE(net.Idle());
+}
+
+TEST(Network, DeliverOneReturnsFalseWhenEmpty) {
+  Network net(1);
+  EXPECT_FALSE(net.DeliverOne());
+}
+
+TEST(Network, PendingCountTracksQueue) {
+  Network net(1);
+  Recorder r;
+  net.RegisterNode(1, &r);
+  net.Send(0, 1, std::make_shared<ReliableProbe>());
+  net.Send(0, 1, std::make_shared<ReliableProbe>());
+  EXPECT_EQ(net.PendingCount(), 2u);
+  net.DeliverOne();
+  EXPECT_EQ(net.PendingCount(), 1u);
+  net.RunUntilIdle();
+  EXPECT_EQ(net.PendingCount(), 0u);
+}
+
+}  // namespace
+}  // namespace bmx

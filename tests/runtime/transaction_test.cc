@@ -1,0 +1,169 @@
+// Tests for the transactions extension (§10 future work): abort unwinds
+// in-memory writes, commit survives a crash, and the interplay with tokens,
+// the write barrier and the collector stays coherent.
+
+#include <gtest/gtest.h>
+
+#include "src/runtime/cluster.h"
+#include "src/runtime/mutator.h"
+#include "src/runtime/transaction.h"
+
+namespace bmx {
+namespace {
+
+void AdoptRecoveredSegment(Node* node, SegmentImage* image, BunchId bunch) {
+  image->ForEachObject([&](Gaddr addr, ObjectHeader& header) {
+    if (!header.forwarded()) {
+      node->dsm().RegisterNewObject(header.oid, addr, bunch);
+    } else {
+      node->store().SetAddrOfOid(header.oid, header.forward);
+    }
+  });
+}
+
+TEST(Transaction, AbortRestoresWordsAndRefs) {
+  Cluster cluster({.num_nodes = 1});
+  Mutator m(&cluster.node(0));
+  BunchId bunch = cluster.CreateBunch(0);
+  Gaddr a = m.Alloc(bunch, 3);
+  Gaddr t1 = m.Alloc(bunch, 1);
+  Gaddr t2 = m.Alloc(bunch, 1);
+  m.WriteWord(a, 0, 100);
+  m.WriteRef(a, 1, t1);
+
+  {
+    Transaction tx(&m, &cluster.node(0), bunch);
+    tx.WriteWord(a, 0, 200);
+    tx.WriteRef(a, 1, t2);
+    tx.WriteWord(a, 2, 300);
+    EXPECT_EQ(m.ReadWord(a, 0), 200u);  // visible inside the transaction
+    tx.Abort();
+  }
+  EXPECT_EQ(m.ReadWord(a, 0), 100u);
+  EXPECT_TRUE(m.SameObject(m.ReadRef(a, 1), t1));
+  EXPECT_EQ(m.ReadWord(a, 2), 0u);
+}
+
+TEST(Transaction, DestructorAborts) {
+  Cluster cluster({.num_nodes = 1});
+  Mutator m(&cluster.node(0));
+  BunchId bunch = cluster.CreateBunch(0);
+  Gaddr a = m.Alloc(bunch, 1);
+  m.WriteWord(a, 0, 7);
+  {
+    Transaction tx(&m, &cluster.node(0), bunch);
+    tx.WriteWord(a, 0, 8);
+  }  // falls out of scope uncommitted
+  EXPECT_EQ(m.ReadWord(a, 0), 7u);
+}
+
+TEST(Transaction, OverlappingWritesUnwindInOrder) {
+  Cluster cluster({.num_nodes = 1});
+  Mutator m(&cluster.node(0));
+  BunchId bunch = cluster.CreateBunch(0);
+  Gaddr a = m.Alloc(bunch, 1);
+  m.WriteWord(a, 0, 1);
+  Transaction tx(&m, &cluster.node(0), bunch);
+  tx.WriteWord(a, 0, 2);
+  tx.WriteWord(a, 0, 3);
+  tx.WriteWord(a, 0, 4);
+  tx.Abort();
+  EXPECT_EQ(m.ReadWord(a, 0), 1u);
+}
+
+TEST(Transaction, CommitSurvivesCrash) {
+  Cluster cluster({.num_nodes = 1});
+  BunchId bunch = cluster.CreateBunch(0);
+  Gaddr a;
+  std::vector<SegmentId> segments;
+  {
+    Mutator m(&cluster.node(0));
+    a = m.Alloc(bunch, 2);
+    Transaction tx(&m, &cluster.node(0), bunch);
+    tx.WriteWord(a, 0, 4242);
+    tx.Commit();
+    // A later uncommitted mutation must not survive.
+    m.WriteWord(a, 0, 9999);
+    segments = cluster.node(0).store().SegmentsOfBunch(bunch);
+  }
+  cluster.CrashNode(0);
+  Node& fresh = cluster.RestartNode(0);
+  fresh.persistence().Recover();
+  for (SegmentId seg : segments) {
+    SegmentImage& image = fresh.store().GetOrCreate(seg, bunch);
+    ASSERT_TRUE(fresh.persistence().LoadSegment(&image));
+    AdoptRecoveredSegment(&fresh, &image, bunch);
+  }
+  Mutator m(&fresh);
+  ASSERT_TRUE(m.AcquireRead(a));
+  EXPECT_EQ(m.ReadWord(a, 0), 4242u);
+  m.Release(a);
+}
+
+TEST(Transaction, AbortedAllocationBecomesGarbage) {
+  Cluster cluster({.num_nodes = 1});
+  Mutator m(&cluster.node(0));
+  BunchId bunch = cluster.CreateBunch(0);
+  Gaddr keeper = m.Alloc(bunch, 2);
+  m.AddRoot(keeper);
+  {
+    Transaction tx(&m, &cluster.node(0), bunch);
+    Gaddr temp = tx.Alloc(1);
+    tx.WriteRef(keeper, 0, temp);
+    tx.Abort();  // the keeper's ref is unwound; temp is unreachable
+  }
+  EXPECT_EQ(m.ReadRef(keeper, 0), kNullAddr);
+  cluster.node(0).gc().CollectBunch(bunch);
+  EXPECT_EQ(cluster.node(0).gc().stats().objects_reclaimed, 1u);
+}
+
+TEST(Transaction, AbortUnwindsInterBunchSspCorrectly) {
+  // A cross-bunch reference created inside an aborted transaction leaves a
+  // stub that the next BGC filters out (the slot no longer holds it).
+  Cluster cluster({.num_nodes = 1});
+  Mutator m(&cluster.node(0));
+  BunchId b1 = cluster.CreateBunch(0);
+  BunchId b2 = cluster.CreateBunch(0);
+  Gaddr src = m.Alloc(b1, 1);
+  Gaddr dst = m.Alloc(b2, 1);
+  m.AddRoot(src);
+  {
+    Transaction tx(&m, &cluster.node(0), b1);
+    tx.WriteRef(src, 0, dst);
+    tx.Abort();
+  }
+  cluster.node(0).gc().CollectBunch(b1);
+  EXPECT_TRUE(cluster.node(0).gc().TablesOf(b1).inter_stubs.empty());
+  cluster.node(0).gc().CollectBunch(b2);
+  EXPECT_GE(cluster.node(0).gc().stats().objects_reclaimed, 1u);  // dst dies
+}
+
+TEST(HeapReport, AccountsLiveForwarderAndDeadBytes) {
+  Cluster cluster({.num_nodes = 1});
+  Mutator m(&cluster.node(0));
+  BunchId bunch = cluster.CreateBunch(0);
+  Gaddr live = m.Alloc(bunch, 2);
+  m.AddRoot(live);
+  m.Alloc(bunch, 4);  // garbage
+
+  auto before = cluster.node(0).gc().ReportOf(bunch);
+  EXPECT_EQ(before.live_objects, 1u);
+  EXPECT_EQ(before.forwarders, 0u);
+  EXPECT_GT(before.allocated_bytes, before.live_bytes);
+
+  cluster.node(0).gc().CollectBunch(bunch);
+  auto after = cluster.node(0).gc().ReportOf(bunch);
+  // The live object moved to to-space; a forwarder remains in from-space.
+  EXPECT_EQ(after.live_objects, 1u);
+  EXPECT_EQ(after.forwarders, 1u);
+
+  cluster.node(0).gc().ReclaimFromSpaces(bunch);
+  cluster.Pump();
+  auto reclaimed = cluster.node(0).gc().ReportOf(bunch);
+  EXPECT_EQ(reclaimed.forwarders, 0u);
+  EXPECT_EQ(reclaimed.live_objects, 1u);
+  EXPECT_GE(reclaimed.Utilization(), 0.5);
+}
+
+}  // namespace
+}  // namespace bmx

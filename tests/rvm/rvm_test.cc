@@ -1,0 +1,221 @@
+#include "src/rvm/rvm.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/rvm/disk.h"
+
+namespace bmx {
+namespace {
+
+TEST(Disk, CreateWriteRead) {
+  Disk disk;
+  EXPECT_FALSE(disk.Exists("f"));
+  disk.Create("f", 16);
+  EXPECT_TRUE(disk.Exists("f"));
+  EXPECT_EQ(disk.FileSize("f"), 16u);
+  uint8_t data[4] = {1, 2, 3, 4};
+  disk.Write("f", 4, data, 4);
+  uint8_t out[4] = {0};
+  disk.Read("f", 4, out, 4);
+  EXPECT_EQ(std::memcmp(data, out, 4), 0);
+}
+
+TEST(Disk, WriteGrowsFile) {
+  Disk disk;
+  disk.Create("f", 4);
+  uint8_t data[8] = {9, 9, 9, 9, 9, 9, 9, 9};
+  disk.Write("f", 2, data, 8);
+  EXPECT_EQ(disk.FileSize("f"), 10u);
+}
+
+TEST(Disk, AppendAndTruncate) {
+  Disk disk;
+  disk.Create("f", 0);
+  uint8_t b = 5;
+  disk.Append("f", &b, 1);
+  disk.Append("f", &b, 1);
+  EXPECT_EQ(disk.FileSize("f"), 2u);
+  disk.Truncate("f", 1);
+  EXPECT_EQ(disk.FileSize("f"), 1u);
+}
+
+TEST(Disk, StatsCount) {
+  Disk disk;
+  disk.Create("f", 8);
+  uint8_t b = 1;
+  disk.Write("f", 0, &b, 1);
+  EXPECT_EQ(disk.stats().writes, 2u);
+  EXPECT_EQ(disk.stats().bytes_written, 9u);
+}
+
+class RvmTest : public ::testing::Test {
+ protected:
+  Disk disk_;
+  std::vector<uint8_t> mem_ = std::vector<uint8_t>(64, 0);
+};
+
+TEST_F(RvmTest, CommitMakesChangesRecoverable) {
+  {
+    Rvm rvm(&disk_, "log");
+    rvm.MapRegion("data", mem_.data(), mem_.size());
+    TxId tx = rvm.BeginTransaction();
+    rvm.SetRange(tx, "data", 0, 8);
+    std::memcpy(mem_.data(), "ABCDEFGH", 8);
+    rvm.CommitTransaction(tx);
+  }
+  // Crash: volatile memory gone.  Recover into the data file, then remap.
+  std::vector<uint8_t> fresh(64, 0);
+  Rvm rvm2(&disk_, "log");
+  rvm2.Recover();
+  rvm2.MapRegion("data", fresh.data(), fresh.size());
+  EXPECT_EQ(std::memcmp(fresh.data(), "ABCDEFGH", 8), 0);
+  EXPECT_EQ(rvm2.stats().recovered_transactions, 1u);
+}
+
+TEST_F(RvmTest, UncommittedChangesDoNotSurviveCrash) {
+  {
+    Rvm rvm(&disk_, "log");
+    rvm.MapRegion("data", mem_.data(), mem_.size());
+    TxId tx = rvm.BeginTransaction();
+    rvm.SetRange(tx, "data", 0, 8);
+    std::memcpy(mem_.data(), "ABCDEFGH", 8);
+    // no commit — crash
+  }
+  std::vector<uint8_t> fresh(64, 0xFF);
+  Rvm rvm2(&disk_, "log");
+  rvm2.Recover();
+  rvm2.MapRegion("data", fresh.data(), fresh.size());
+  EXPECT_EQ(fresh[0], 0u);  // zero-filled original, not 'A'
+}
+
+TEST_F(RvmTest, AbortRestoresMemory) {
+  Rvm rvm(&disk_, "log");
+  rvm.MapRegion("data", mem_.data(), mem_.size());
+  std::memcpy(mem_.data(), "original", 8);
+  TxId tx = rvm.BeginTransaction();
+  rvm.SetRange(tx, "data", 0, 8);
+  std::memcpy(mem_.data(), "clobber!", 8);
+  rvm.AbortTransaction(tx);
+  EXPECT_EQ(std::memcmp(mem_.data(), "original", 8), 0);
+  EXPECT_EQ(rvm.stats().transactions_aborted, 1u);
+}
+
+TEST_F(RvmTest, AbortUnwindsOverlappingRangesInReverse) {
+  Rvm rvm(&disk_, "log");
+  rvm.MapRegion("data", mem_.data(), mem_.size());
+  mem_[0] = 1;
+  TxId tx = rvm.BeginTransaction();
+  rvm.SetRange(tx, "data", 0, 1);
+  mem_[0] = 2;
+  rvm.SetRange(tx, "data", 0, 1);
+  mem_[0] = 3;
+  rvm.AbortTransaction(tx);
+  EXPECT_EQ(mem_[0], 1u);
+}
+
+TEST_F(RvmTest, MultiRegionTransactionIsAtomic) {
+  std::vector<uint8_t> mem2(32, 0);
+  {
+    Rvm rvm(&disk_, "log");
+    rvm.MapRegion("a", mem_.data(), mem_.size());
+    rvm.MapRegion("b", mem2.data(), mem2.size());
+    TxId tx = rvm.BeginTransaction();
+    rvm.SetRange(tx, "a", 0, 4);
+    rvm.SetRange(tx, "b", 0, 4);
+    std::memcpy(mem_.data(), "AAAA", 4);
+    std::memcpy(mem2.data(), "BBBB", 4);
+    rvm.CommitTransaction(tx);
+  }
+  std::vector<uint8_t> fa(64, 0);
+  std::vector<uint8_t> fb(32, 0);
+  Rvm rvm2(&disk_, "log");
+  rvm2.Recover();
+  rvm2.MapRegion("a", fa.data(), fa.size());
+  rvm2.MapRegion("b", fb.data(), fb.size());
+  EXPECT_EQ(std::memcmp(fa.data(), "AAAA", 4), 0);
+  EXPECT_EQ(std::memcmp(fb.data(), "BBBB", 4), 0);
+}
+
+TEST_F(RvmTest, TruncateAppliesAndClearsLog) {
+  Rvm rvm(&disk_, "log");
+  rvm.MapRegion("data", mem_.data(), mem_.size());
+  TxId tx = rvm.BeginTransaction();
+  rvm.SetRange(tx, "data", 0, 4);
+  std::memcpy(mem_.data(), "WXYZ", 4);
+  rvm.CommitTransaction(tx);
+  EXPECT_GT(rvm.LogSizeBytes(), 0u);
+  rvm.TruncateLog();
+  EXPECT_EQ(rvm.LogSizeBytes(), 0u);
+  // Data survived into the data file.
+  uint8_t out[4];
+  disk_.Read("data", 0, out, 4);
+  EXPECT_EQ(std::memcmp(out, "WXYZ", 4), 0);
+}
+
+TEST_F(RvmTest, RecoveryIsIdempotent) {
+  Rvm rvm(&disk_, "log");
+  rvm.MapRegion("data", mem_.data(), mem_.size());
+  TxId tx = rvm.BeginTransaction();
+  rvm.SetRange(tx, "data", 8, 4);
+  std::memcpy(mem_.data() + 8, "QQQQ", 4);
+  rvm.CommitTransaction(tx);
+  rvm.Recover();
+  rvm.Recover();
+  uint8_t out[4];
+  disk_.Read("data", 8, out, 4);
+  EXPECT_EQ(std::memcmp(out, "QQQQ", 4), 0);
+}
+
+TEST_F(RvmTest, LaterCommitsWinOnOverlap) {
+  {
+    Rvm rvm(&disk_, "log");
+    rvm.MapRegion("data", mem_.data(), mem_.size());
+    TxId t1 = rvm.BeginTransaction();
+    rvm.SetRange(t1, "data", 0, 4);
+    std::memcpy(mem_.data(), "1111", 4);
+    rvm.CommitTransaction(t1);
+    TxId t2 = rvm.BeginTransaction();
+    rvm.SetRange(t2, "data", 0, 4);
+    std::memcpy(mem_.data(), "2222", 4);
+    rvm.CommitTransaction(t2);
+  }
+  std::vector<uint8_t> fresh(64, 0);
+  Rvm rvm2(&disk_, "log");
+  rvm2.Recover();
+  rvm2.MapRegion("data", fresh.data(), fresh.size());
+  EXPECT_EQ(std::memcmp(fresh.data(), "2222", 4), 0);
+}
+
+TEST_F(RvmTest, TornLogTailIsIgnored) {
+  {
+    Rvm rvm(&disk_, "log");
+    rvm.MapRegion("data", mem_.data(), mem_.size());
+    TxId tx = rvm.BeginTransaction();
+    rvm.SetRange(tx, "data", 0, 4);
+    std::memcpy(mem_.data(), "GOOD", 4);
+    rvm.CommitTransaction(tx);
+  }
+  // Corrupt the tail: append half a record.
+  uint8_t garbage[3] = {1, 0, 0};
+  disk_.Append("log", garbage, 3);
+  std::vector<uint8_t> fresh(64, 0);
+  Rvm rvm2(&disk_, "log");
+  rvm2.Recover();
+  rvm2.MapRegion("data", fresh.data(), fresh.size());
+  EXPECT_EQ(std::memcmp(fresh.data(), "GOOD", 4), 0);
+}
+
+TEST_F(RvmTest, MapRegionAdoptDoesNotLoad) {
+  disk_.Create("data", 8);
+  uint8_t on_disk = 7;
+  disk_.Write("data", 0, &on_disk, 1);
+  mem_[0] = 42;
+  Rvm rvm(&disk_, "log");
+  rvm.MapRegionAdopt("data", mem_.data(), 8);
+  EXPECT_EQ(mem_[0], 42u);  // memory untouched
+}
+
+}  // namespace
+}  // namespace bmx

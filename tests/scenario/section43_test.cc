@@ -1,0 +1,108 @@
+// §4.3's three cases, verbatim: "When the BGC scans a live object containing
+// an inter-bunch reference, three actions may be taken:
+//   - if the inter-bunch reference has been created at the local node, then
+//     the corresponding inter-bunch stub is added to the new stub table,
+//   - if the inter-bunch reference has not been created locally, but the
+//     scanned object is locally owned, then the corresponding intra-bunch
+//     stub is added to the new stub list,
+//   - if neither ... nor ..., then no stub is added."
+
+#include <gtest/gtest.h>
+
+#include "src/runtime/cluster.h"
+#include "src/runtime/mutator.h"
+
+namespace bmx {
+namespace {
+
+class Section43 : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cluster_ = std::make_unique<Cluster>(ClusterOptions{.num_nodes = 3});
+    for (int i = 0; i < 3; ++i) {
+      mutators_.push_back(std::make_unique<Mutator>(&cluster_->node(i)));
+    }
+    b_ = cluster_->CreateBunch(0);
+    other_ = cluster_->CreateBunch(0);
+    // Node 0 creates the object and its inter-bunch reference.
+    obj_ = mutators_[0]->Alloc(b_, 2);
+    out_ = mutators_[0]->Alloc(other_, 1);
+    mutators_[0]->AddRoot(out_);
+    mutators_[0]->WriteRef(obj_, 0, out_);
+    mutators_[0]->AddRoot(obj_);
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+  std::vector<std::unique_ptr<Mutator>> mutators_;
+  BunchId b_ = kInvalidBunch, other_ = kInvalidBunch;
+  Gaddr obj_ = kNullAddr, out_ = kNullAddr;
+};
+
+TEST_F(Section43, Case1_LocallyCreatedReferenceKeepsInterStub) {
+  cluster_->node(0).gc().CollectBunch(b_);
+  auto tables = cluster_->node(0).gc().TablesOf(b_);
+  ASSERT_EQ(tables.inter_stubs.size(), 1u);
+  EXPECT_TRUE(tables.intra_stubs.empty());
+}
+
+TEST_F(Section43, Case2_OwnedButNotCreatorKeepsIntraStub) {
+  // Ownership (and the object's bytes) move to node 1, which becomes the
+  // owner but did NOT create the inter-bunch reference: its BGC emits an
+  // intra-bunch stub (pointing at node 0's scion), not an inter-bunch stub.
+  ASSERT_TRUE(mutators_[1]->AcquireWrite(obj_));
+  mutators_[1]->Release(obj_);
+  mutators_[1]->AddRoot(obj_);
+  cluster_->Pump();
+  cluster_->node(1).gc().CollectBunch(b_);
+  auto tables = cluster_->node(1).gc().TablesOf(b_);
+  EXPECT_TRUE(tables.inter_stubs.empty());
+  ASSERT_EQ(tables.intra_stubs.size(), 1u);
+  EXPECT_EQ(tables.intra_stubs[0].scion_node, 0u);
+}
+
+TEST_F(Section43, Case3_NeitherCreatorNorOwnerEmitsNothing) {
+  // Node 2 holds a mere read replica: not the creator of the reference, not
+  // the owner — its BGC adds no stub of either kind for the object.
+  ASSERT_TRUE(mutators_[2]->AcquireRead(obj_));
+  mutators_[2]->Release(obj_);
+  mutators_[2]->AddRoot(obj_);
+  cluster_->Pump();
+  cluster_->node(2).gc().CollectBunch(b_);
+  auto tables = cluster_->node(2).gc().TablesOf(b_);
+  EXPECT_TRUE(tables.inter_stubs.empty());
+  EXPECT_TRUE(tables.intra_stubs.empty());
+  // But it does emit an exiting ownerPtr, keeping the object alive at the
+  // owner.
+  cluster_->Pump();
+  cluster_->node(0).gc().CollectBunch(b_);
+  EXPECT_EQ(cluster_->node(0).gc().stats().objects_reclaimed, 0u);
+}
+
+TEST_F(Section43, InterStubStaysWithCreatorAcrossOwnershipMoves) {
+  // However often ownership hops, the single inter-bunch stub remains at its
+  // creation node (node 0) while its object lives; "a single SSP is enough
+  // to keep the target object alive in the whole system" (§3.1).
+  ASSERT_TRUE(mutators_[1]->AcquireWrite(obj_));
+  mutators_[1]->Release(obj_);
+  ASSERT_TRUE(mutators_[2]->AcquireWrite(obj_));
+  mutators_[2]->Release(obj_);
+  ASSERT_TRUE(mutators_[0]->AcquireWrite(obj_));
+  mutators_[0]->Release(obj_);
+  cluster_->Pump();
+  for (int n = 0; n < 3; ++n) {
+    cluster_->node(n).gc().CollectBunch(b_);
+    cluster_->Pump();
+  }
+  size_t stubs_total = 0;
+  for (int n = 0; n < 3; ++n) {
+    stubs_total += cluster_->node(n).gc().TablesOf(b_).inter_stubs.size();
+  }
+  EXPECT_EQ(stubs_total, 1u);
+  EXPECT_EQ(cluster_->node(0).gc().TablesOf(b_).inter_stubs.size(), 1u);
+  // The target is still protected.
+  cluster_->node(0).gc().CollectBunch(other_);
+  EXPECT_EQ(cluster_->node(0).gc().stats().objects_reclaimed, 0u);
+}
+
+}  // namespace
+}  // namespace bmx

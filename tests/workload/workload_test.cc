@@ -1,0 +1,109 @@
+// Workload generator tests: the builders must produce exactly the shapes the
+// benchmarks and integration tests assume.
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/runtime/cluster.h"
+#include "src/runtime/mutator.h"
+#include "src/workload/graph_builder.h"
+
+namespace bmx {
+namespace {
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cluster_ = std::make_unique<Cluster>(ClusterOptions{.num_nodes = 1});
+    mutator_ = std::make_unique<Mutator>(&cluster_->node(0));
+    builder_ = std::make_unique<GraphBuilder>(cluster_.get(), mutator_.get());
+    bunch_ = cluster_->CreateBunch(0);
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<Mutator> mutator_;
+  std::unique_ptr<GraphBuilder> builder_;
+  BunchId bunch_ = kInvalidBunch;
+};
+
+TEST_F(WorkloadTest, ListHasRequestedLengthAndPayloads) {
+  Gaddr head = builder_->BuildList(bunch_, 17);
+  size_t len = 0;
+  Gaddr cur = head;
+  while (cur != kNullAddr) {
+    EXPECT_EQ(mutator_->ReadWord(cur, 1), len + 1);
+    cur = mutator_->ReadRef(cur, 0);
+    len++;
+  }
+  EXPECT_EQ(len, 17u);
+}
+
+TEST_F(WorkloadTest, EmptyListIsNull) { EXPECT_EQ(builder_->BuildList(bunch_, 0), kNullAddr); }
+
+TEST_F(WorkloadTest, TreeHasFullShape) {
+  Gaddr root = builder_->BuildTree(bunch_, 3);
+  // Complete binary tree of depth 3: 15 nodes; count by walking.
+  std::vector<Gaddr> stack{root};
+  size_t count = 0;
+  while (!stack.empty()) {
+    Gaddr node = stack.back();
+    stack.pop_back();
+    count++;
+    for (size_t child = 0; child < 2; ++child) {
+      Gaddr c = mutator_->ReadRef(node, child);
+      if (c != kNullAddr) {
+        stack.push_back(c);
+      }
+    }
+  }
+  EXPECT_EQ(count, 15u);
+}
+
+TEST_F(WorkloadTest, RandomGraphSpineReachesAll) {
+  Rng rng(5);
+  auto objects = builder_->BuildRandomGraph(bunch_, 40, 3, &rng);
+  ASSERT_EQ(objects.size(), 40u);
+  // Rooting the first object keeps the whole population alive.
+  mutator_->AddRoot(objects[0]);
+  cluster_->node(0).gc().CollectBunch(bunch_);
+  EXPECT_EQ(cluster_->node(0).gc().stats().objects_reclaimed, 0u);
+  EXPECT_EQ(cluster_->node(0).gc().stats().objects_copied, 40u);
+}
+
+TEST_F(WorkloadTest, CrossBunchCycleClosesAndCrossesBunches) {
+  BunchId b2 = cluster_->CreateBunch(0);
+  BunchId b3 = cluster_->CreateBunch(0);
+  auto ring = builder_->BuildCrossBunchCycle({bunch_, b2, b3});
+  ASSERT_EQ(ring.size(), 3u);
+  Gaddr cur = ring[0];
+  std::set<BunchId> seen;
+  for (int i = 0; i < 3; ++i) {
+    seen.insert(cluster_->directory().BunchOfSegment(SegmentOf(cur)));
+    cur = mutator_->ReadRef(cur, 0);
+  }
+  EXPECT_TRUE(mutator_->SameObject(cur, ring[0]));  // closed
+  EXPECT_EQ(seen.size(), 3u);                       // spans all three bunches
+}
+
+TEST_F(WorkloadTest, ChurnOnlyTouchesScratchSlot) {
+  Gaddr head = builder_->BuildList(bunch_, 10, /*size_slots=*/3);
+  std::vector<Gaddr> objects;
+  Gaddr cur = head;
+  while (cur != kNullAddr) {
+    objects.push_back(cur);
+    cur = mutator_->ReadRef(cur, 0);
+  }
+  Rng rng(9);
+  builder_->Churn(objects, 100, &rng);
+  // Spine intact after churn.
+  size_t len = 0;
+  cur = head;
+  while (cur != kNullAddr) {
+    cur = mutator_->ReadRef(cur, 0);
+    len++;
+  }
+  EXPECT_EQ(len, 10u);
+}
+
+}  // namespace
+}  // namespace bmx
