@@ -1,0 +1,102 @@
+// F1 — cost of reliable delivery under fault injection: for a replicated-list
+// workload, how much extra wire traffic (retransmissions, suppressed
+// duplicates, redelivery copies) each fault mix induces on top of the logical
+// traffic.  Reported straight from the NetworkStats counters the transport
+// maintains, so the same numbers are available to every experiment.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace bmx {
+namespace {
+
+void ReportReliability(benchmark::State& state, const NetworkStats& stats) {
+  double iters = static_cast<double>(state.iterations());
+  state.counters["retransmits"] = static_cast<double>(stats.TotalRetransmits()) / iters;
+  state.counters["dup_suppressed"] = static_cast<double>(stats.TotalDupSuppressed()) / iters;
+  state.counters["redelivered"] = static_cast<double>(stats.TotalRedelivered()) / iters;
+  // Wire amplification: 1.0 means the wire carried exactly the logical bytes.
+  state.counters["wire_amplification"] =
+      static_cast<double>(stats.TotalWireBytes()) / static_cast<double>(stats.TotalBytes());
+}
+
+void F1_ReliabilityUnderLoss(benchmark::State& state) {
+  double loss = static_cast<double>(state.range(0)) / 100.0;
+  NetworkStats accumulated;
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    state.PauseTiming();
+    BenchRig rig(3, CopySetMode::kCentralized, seed++);
+    rig.cluster.network().set_reliable_loss_rate(loss);
+    rig.cluster.network().set_ack_loss_rate(loss);
+    BunchId bunch = rig.cluster.CreateBunch(0);
+    state.ResumeTiming();
+
+    rig.BuildReplicatedList(bunch, 32, 3);
+    rig.cluster.node(0).gc().CollectBunch(bunch);
+    rig.cluster.Pump();
+
+    state.PauseTiming();
+    const NetworkStats& stats = rig.cluster.network().stats();
+    for (size_t k = 0; k < stats.per_kind.size(); ++k) {
+      accumulated.per_kind[k].bytes += stats.per_kind[k].bytes;
+      accumulated.per_kind[k].wire_bytes += stats.per_kind[k].wire_bytes;
+      accumulated.per_kind[k].retransmits += stats.per_kind[k].retransmits;
+      accumulated.per_kind[k].dup_suppressed += stats.per_kind[k].dup_suppressed;
+      accumulated.per_kind[k].redelivered += stats.per_kind[k].redelivered;
+    }
+    state.ResumeTiming();
+  }
+  ReportReliability(state, accumulated);
+  state.counters["loss_pct"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(F1_ReliabilityUnderLoss)->Arg(0)->Arg(10)->Arg(25)->Arg(50)->Unit(benchmark::kMillisecond);
+
+void F1_CrashRecoveryRedelivery(benchmark::State& state) {
+  size_t payloads = static_cast<size_t>(state.range(0));
+  NetworkStats accumulated;
+  for (auto _ : state) {
+    state.PauseTiming();
+    BenchRig rig(3);
+    BunchId bunch = rig.cluster.CreateBunch(0);
+    Gaddr head = rig.BuildReplicatedList(bunch, payloads, 3);
+    rig.cluster.network().ResetStats();
+    state.ResumeTiming();
+
+    // Crash a replica holder, mutate every object (invalidations to the dead
+    // node get parked), then restart it and drain the replay.  The crashed
+    // node's mutator dies with it — it holds a pointer into the node.
+    rig.mutators[2].reset();
+    rig.cluster.CrashNode(2);
+    Gaddr cur = head;
+    while (cur != kNullAddr) {
+      rig.mutators[0]->AcquireWrite(cur);
+      Gaddr next = rig.mutators[0]->ReadRef(cur, 0);
+      rig.mutators[0]->Release(cur);
+      cur = next;
+    }
+    rig.cluster.Pump();
+    rig.cluster.RestartNode(2);
+    rig.cluster.Pump();
+
+    state.PauseTiming();
+    const NetworkStats& stats = rig.cluster.network().stats();
+    for (size_t k = 0; k < stats.per_kind.size(); ++k) {
+      accumulated.per_kind[k].bytes += stats.per_kind[k].bytes;
+      accumulated.per_kind[k].wire_bytes += stats.per_kind[k].wire_bytes;
+      accumulated.per_kind[k].retransmits += stats.per_kind[k].retransmits;
+      accumulated.per_kind[k].dup_suppressed += stats.per_kind[k].dup_suppressed;
+      accumulated.per_kind[k].redelivered += stats.per_kind[k].redelivered;
+    }
+    state.ResumeTiming();
+  }
+  ReportReliability(state, accumulated);
+  state.counters["payloads"] = static_cast<double>(payloads);
+}
+BENCHMARK(F1_CrashRecoveryRedelivery)->Arg(8)->Arg(32)->Arg(128)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bmx
+
+BENCHMARK_MAIN();

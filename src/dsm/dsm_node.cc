@@ -626,10 +626,14 @@ void DsmNode::FillObjectBytes(Oid oid, GrantPayload* grant, Gaddr byte_addr) con
 void DsmNode::HandleGrant(const Message& msg) {
   const auto& grant = static_cast<const GrantPayload&>(*msg.payload);
   if (grant.denied) {
-    // The object is gone everywhere: the acquire fails (dangling address).
-    wait_complete_ = false;
-    wait_active_ = false;
-    wait_addr_ = kNullAddr;
+    if (wait_active_) {
+      // The object is gone everywhere: the acquire fails (dangling address).
+      wait_complete_ = false;
+      wait_active_ = false;
+      wait_addr_ = kNullAddr;
+    }
+    // A denial with no acquire in flight is a replayed/stale grant (e.g.
+    // redelivered to a restarted incarnation of this node): nothing to fail.
     return;
   }
   InstallObjectBytes(grant.oid, grant.bunch, grant.addr, grant.header, grant.slots,
@@ -687,8 +691,13 @@ void DsmNode::HandleGrant(const Message& msg) {
     }
     wait_addr_ = kNullAddr;
   }
-  wait_complete_ = true;
-  wait_active_ = false;
+  // Only an in-flight acquire completes a wait; a stale or redelivered grant
+  // (crash-recovery replay to a fresh incarnation) still installed usable
+  // bytes above but must not fabricate a completed acquire.
+  if (wait_active_) {
+    wait_complete_ = true;
+    wait_active_ = false;
+  }
   Redispatch(grant.oid);
 }
 
@@ -718,8 +727,11 @@ void DsmNode::HandleInvalidate(const Message& msg) {
 void DsmNode::HandleInvalidateAck(const Message& msg) {
   const auto& ack = static_cast<const InvalidateAckPayload&>(*msg.payload);
   auto it = invalidations_.find(ack.oid);
-  BMX_CHECK(it != invalidations_.end()) << "stray invalidate ack for oid " << ack.oid;
-  BMX_CHECK_GT(it->second.awaiting, 0u);
+  if (it == invalidations_.end() || it->second.awaiting == 0) {
+    // Stray ack: the invalidation already completed, or this incarnation of
+    // the node never started one (the ack was redelivered after a restart).
+    return;
+  }
   it->second.awaiting--;
   TryFinishInvalidation(ack.oid);
 }

@@ -58,6 +58,9 @@ enum class MsgCategory : uint8_t {
   kGcForeground,  // GC traffic a baseline collector makes applications wait for
 };
 
+// Number of entries in MsgCategory, for per-category accounting tables.
+inline constexpr size_t kNumMsgCategories = 3;
+
 // Base class for typed message payloads.  Payloads are in-process structs; a
 // payload reports the size it would occupy on a real wire so experiments can
 // account bytes (piggyback bytes vs. dedicated messages).
@@ -67,16 +70,25 @@ class Payload {
   virtual MsgKind kind() const = 0;
   virtual MsgCategory category() const = 0;
   virtual size_t WireSize() const = 0;
-  // Reliable payloads are never dropped by fault injection; the paper's GC
-  // messages are designed to tolerate loss (idempotent tables, §6.1) while the
-  // DSM protocol itself is assumed reliable.
+  // Reliable payloads get transport guarantees from the simulated network:
+  // ack/retransmit with backoff, receiver-side duplicate suppression, in-order
+  // delivery, and redelivery after the destination reconnects — exactly-once
+  // FIFO semantics.  Unreliable payloads are datagrams: fault injection may
+  // lose, duplicate or reorder them, and the handler sees whatever arrives.
+  // The paper's GC tables are designed for the unreliable class (idempotent
+  // full state, §6.1); the DSM protocol itself assumes reliable delivery.
   virtual bool reliable() const { return true; }
 };
 
 struct Message {
   NodeId src = kInvalidNode;
   NodeId dst = kInvalidNode;
-  uint64_t seq = 0;  // per-channel FIFO sequence number, stamped by Network
+  uint64_t seq = 0;  // per-channel wire sequence number, stamped by Network
+  // Position in the channel's *reliable* stream (only meaningful when
+  // payload->reliable()); the receiver uses it for duplicate suppression and
+  // in-order reassembly.  Duplicates and retransmissions keep the original
+  // rel_seq — that is what makes them recognizable.
+  uint64_t rel_seq = 0;
   std::shared_ptr<const Payload> payload;
 };
 

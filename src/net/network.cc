@@ -1,5 +1,7 @@
 #include "src/net/network.h"
 
+#include <algorithm>
+
 #include "src/common/check.h"
 
 namespace bmx {
@@ -50,12 +52,6 @@ const char* MsgKindName(MsgKind kind) {
   return "Unknown";
 }
 
-namespace {
-
-MsgCategory KindCategoryForStats(const Payload& payload) { return payload.category(); }
-
-}  // namespace
-
 uint64_t NetworkStats::TotalSent() const {
   uint64_t n = 0;
   for (const auto& pk : per_kind) {
@@ -72,136 +68,345 @@ uint64_t NetworkStats::TotalBytes() const {
   return n;
 }
 
-uint64_t NetworkStats::SentInCategory(MsgCategory category) const {
-  // Category is a property of the payload, not the kind, but every kind in
-  // this system maps to exactly one category; the per-kind table records the
-  // category of the first payload seen.  Simpler: recompute from kind here.
+uint64_t NetworkStats::TotalWireBytes() const {
   uint64_t n = 0;
-  for (size_t i = 0; i < per_kind.size(); ++i) {
-    auto kind = static_cast<MsgKind>(i);
-    MsgCategory c;
-    switch (kind) {
-      case MsgKind::kAcquireRequest:
-      case MsgKind::kGrant:
-      case MsgKind::kInvalidate:
-      case MsgKind::kInvalidateAck:
-      case MsgKind::kObjectPush:
-        c = MsgCategory::kDsm;
-        break;
-      case MsgKind::kStwStop:
-      case MsgKind::kStwRootsReply:
-      case MsgKind::kStwRelocate:
-      case MsgKind::kStwResume:
-      case MsgKind::kStrongUpdate:
-      case MsgKind::kStrongUpdateAck:
-        c = MsgCategory::kGcForeground;
-        break;
-      default:
-        c = MsgCategory::kGcBackground;
-        break;
-    }
-    if (c == category) {
-      n += per_kind[i].sent;
-    }
+  for (const auto& pk : per_kind) {
+    n += pk.wire_bytes;
   }
   return n;
 }
 
-uint64_t NetworkStats::BytesInCategory(MsgCategory category) const {
+uint64_t NetworkStats::TotalRetransmits() const {
   uint64_t n = 0;
-  for (size_t i = 0; i < per_kind.size(); ++i) {
-    auto kind = static_cast<MsgKind>(i);
-    MsgCategory c;
-    switch (kind) {
-      case MsgKind::kAcquireRequest:
-      case MsgKind::kGrant:
-      case MsgKind::kInvalidate:
-      case MsgKind::kInvalidateAck:
-      case MsgKind::kObjectPush:
-        c = MsgCategory::kDsm;
-        break;
-      case MsgKind::kStwStop:
-      case MsgKind::kStwRootsReply:
-      case MsgKind::kStwRelocate:
-      case MsgKind::kStwResume:
-      case MsgKind::kStrongUpdate:
-      case MsgKind::kStrongUpdateAck:
-        c = MsgCategory::kGcForeground;
-        break;
-      default:
-        c = MsgCategory::kGcBackground;
-        break;
-    }
-    if (c == category) {
-      n += per_kind[i].bytes;
-    }
+  for (const auto& pk : per_kind) {
+    n += pk.retransmits;
   }
   return n;
+}
+
+uint64_t NetworkStats::TotalDupSuppressed() const {
+  uint64_t n = 0;
+  for (const auto& pk : per_kind) {
+    n += pk.dup_suppressed;
+  }
+  return n;
+}
+
+uint64_t NetworkStats::TotalRedelivered() const {
+  uint64_t n = 0;
+  for (const auto& pk : per_kind) {
+    n += pk.redelivered;
+  }
+  return n;
+}
+
+uint64_t NetworkStats::SentInCategory(MsgCategory category) const {
+  return ForCategory(category).sent;
+}
+
+uint64_t NetworkStats::BytesInCategory(MsgCategory category) const {
+  return ForCategory(category).bytes;
+}
+
+void Network::set_retransmit_timeout(uint64_t ticks) {
+  BMX_CHECK_GT(ticks, 0u);
+  retransmit_timeout_ = ticks;
+}
+
+void Network::set_reliable_loss_rate(double p) {
+  BMX_CHECK_LT(p, 1.0) << "a reliable channel that loses every transmission cannot terminate";
+  reliable_loss_rate_ = p;
+}
+
+void Network::set_ack_loss_rate(double p) {
+  BMX_CHECK_LT(p, 1.0) << "a channel that loses every ack cannot terminate";
+  ack_loss_rate_ = p;
+}
+
+void Network::PartitionNodes(NodeId a, NodeId b) {
+  BMX_CHECK_NE(a, b);
+  partitions_.insert({std::min(a, b), std::max(a, b)});
+}
+
+void Network::HealPartition(NodeId a, NodeId b) {
+  partitions_.erase({std::min(a, b), std::max(a, b)});
+  // Re-arm every payload that was waiting out the partition so the next pump
+  // retransmits immediately instead of sleeping through residual backoff.
+  for (auto& [key, channel] : channels_) {
+    if ((key.first == a && key.second == b) || (key.first == b && key.second == a)) {
+      for (auto& [rel_seq, entry] : channel.unacked) {
+        entry.next_retry = now_;
+      }
+    }
+  }
+}
+
+bool Network::Partitioned(NodeId a, NodeId b) const {
+  return partitions_.count({std::min(a, b), std::max(a, b)}) > 0;
+}
+
+bool Network::ReachableChannel(const ChannelKey& key) const {
+  return handlers_.count(key.second) > 0 && !Partitioned(key.first, key.second);
+}
+
+void Network::CountWireCopy(const Payload& payload) {
+  size_t size = payload.WireSize();
+  stats_.For(payload.kind()).wire_bytes += size;
+  stats_.ForCategory(payload.category()).wire_bytes += size;
 }
 
 void Network::RegisterNode(NodeId node, MessageHandler* handler) {
   BMX_CHECK(handler != nullptr);
+  bool fresh_incarnation = handlers_.count(node) == 0;
   handlers_[node] = handler;
+  if (!fresh_incarnation) {
+    return;  // handler swap on a live node: channels keep flowing untouched
+  }
+  // A newly attached incarnation starts every inbound channel from sequence
+  // zero and receives exactly the reliable traffic parked for it while it was
+  // down.  The unacked map is keyed by the original rel_seq, so iteration
+  // order is the original FIFO order and each payload appears exactly once;
+  // queued wire copies addressed to the dead incarnation are superseded by
+  // the replay and purged (their rel_seqs belong to the old numbering).
+  for (auto& [key, channel] : channels_) {
+    if (key.second != node) {
+      continue;
+    }
+    for (auto it = channel.queue.begin(); it != channel.queue.end();) {
+      if (it->payload->reliable()) {
+        it = channel.queue.erase(it);
+        pending_--;
+      } else {
+        ++it;
+      }
+    }
+    channel.stashed.clear();
+    channel.next_seq = 0;
+    channel.next_rel_seq = 0;
+    channel.expected_rel_seq = 0;
+    std::map<uint64_t, RetxEntry> held;
+    held.swap(channel.unacked);
+    for (auto& [old_rel_seq, entry] : held) {
+      Message msg = entry.msg;
+      msg.seq = channel.next_seq++;
+      msg.rel_seq = channel.next_rel_seq++;
+      RetxEntry replay;
+      replay.msg = msg;
+      replay.next_retry = now_ + retransmit_timeout_;
+      channel.unacked.emplace(msg.rel_seq, replay);
+      channel.queue.push_back(std::move(msg));
+      pending_++;
+      stats_.For(entry.msg.payload->kind()).redelivered++;
+      CountWireCopy(*entry.msg.payload);
+    }
+  }
+}
+
+void Network::Enqueue(Channel* channel, Message msg) {
+  bool reorder = reorder_rate_ > 0 && !channel->queue.empty() && rng_.Chance(reorder_rate_);
+  if (reorder) {
+    stats_.For(msg.payload->kind()).reordered++;
+    channel->queue.insert(channel->queue.end() - 1, std::move(msg));
+  } else {
+    channel->queue.push_back(std::move(msg));
+  }
+  pending_++;
 }
 
 void Network::Send(NodeId src, NodeId dst, std::shared_ptr<const Payload> payload) {
   BMX_CHECK(payload != nullptr);
   BMX_CHECK_NE(src, dst);
   auto& pk = stats_.For(payload->kind());
+  auto& pc = stats_.ForCategory(payload->category());
+  size_t size = payload->WireSize();
   pk.sent++;
-  pk.bytes += payload->WireSize();
-  (void)KindCategoryForStats(*payload);
+  pk.bytes += size;
+  pc.sent++;
+  pc.bytes += size;
+  CountWireCopy(*payload);
 
-  if (!payload->reliable()) {
-    if (loss_rate_ > 0 && rng_.Chance(loss_rate_)) {
-      pk.dropped++;
-      return;
-    }
+  bool reliable = payload->reliable();
+  if (!reliable && loss_rate_ > 0 && rng_.Chance(loss_rate_)) {
+    pk.dropped++;
+    return;
   }
 
-  ChannelKey key{src, dst};
+  Channel& channel = channels_[{src, dst}];
   Message msg;
   msg.src = src;
   msg.dst = dst;
-  msg.seq = next_seq_[key]++;
+  msg.seq = channel.next_seq++;
+  msg.rel_seq = reliable ? channel.next_rel_seq++ : 0;
   msg.payload = std::move(payload);
-  channels_[key].push_back(msg);
-  pending_++;
 
-  if (!msg.payload->reliable() && duplication_rate_ > 0 && rng_.Chance(duplication_rate_)) {
-    Message dup = msg;
-    dup.seq = next_seq_[key]++;
-    channels_[key].push_back(dup);
-    pending_++;
-    pk.duplicated++;
+  if (reliable) {
+    RetxEntry entry;
+    entry.msg = msg;
+    entry.next_retry = now_ + retransmit_timeout_;
+    channel.unacked.emplace(msg.rel_seq, std::move(entry));
   }
+
+  bool duplicate = duplication_rate_ > 0 && rng_.Chance(duplication_rate_);
+  if (duplicate) {
+    // The duplicate is a second wire copy of the SAME message: it keeps the
+    // original seq/rel_seq (that is what receiver-side dedup keys on) and its
+    // bytes count as real traffic.
+    pk.duplicated++;
+    CountWireCopy(*msg.payload);
+    Enqueue(&channel, msg);
+  }
+  Enqueue(&channel, std::move(msg));
+}
+
+void Network::AckReliable(Channel* channel, uint64_t rel_seq) {
+  auto it = channel->unacked.find(rel_seq);
+  if (it == channel->unacked.end()) {
+    return;  // already acked (e.g. first copy of a duplicate)
+  }
+  if (ack_loss_rate_ > 0 && rng_.Chance(ack_loss_rate_)) {
+    // Ack lost in flight: the sender will retransmit and the receiver will
+    // suppress the duplicate.
+    return;
+  }
+  channel->unacked.erase(it);
 }
 
 bool Network::DeliverOne() {
-  for (auto& [key, queue] : channels_) {
-    if (queue.empty()) {
+  for (auto& [key, channel] : channels_) {
+    if (channel.queue.empty()) {
       continue;
     }
-    Message msg = queue.front();
-    queue.pop_front();
+    Message msg = std::move(channel.queue.front());
+    channel.queue.pop_front();
     pending_--;
-    auto it = handlers_.find(msg.dst);
-    if (it == handlers_.end()) {
-      // Destination crashed or never existed; the message is lost.
-      continue;
+    now_++;  // every consumed wire copy costs one tick of virtual time
+    auto& pk = stats_.For(msg.payload->kind());
+    bool reliable = msg.payload->reliable();
+
+    if (force_drop_reliable_ > 0 && reliable) {
+      force_drop_reliable_--;
+      pk.lost_transmissions++;
+      return true;  // entry stays unacked; the timer will retransmit
     }
-    stats_.For(msg.payload->kind()).delivered++;
-    it->second->HandleMessage(msg);
+    if (Partitioned(key.first, key.second)) {
+      if (reliable) {
+        pk.lost_transmissions++;  // waits in unacked until the partition heals
+      } else {
+        pk.dropped++;
+      }
+      return true;
+    }
+    auto handler = handlers_.find(msg.dst);
+    if (handler == handlers_.end()) {
+      if (reliable) {
+        // Destination crashed or never attached: hold for redelivery.  The
+        // unacked entry *is* the parked copy.
+        pk.parked++;
+      } else {
+        pk.dropped++;
+      }
+      return true;
+    }
+    if (reliable && reliable_loss_rate_ > 0 && rng_.Chance(reliable_loss_rate_)) {
+      pk.lost_transmissions++;
+      return true;
+    }
+
+    if (reliable) {
+      if (msg.rel_seq < channel.expected_rel_seq || channel.stashed.count(msg.rel_seq) > 0) {
+        // Duplicate (network duplication, retransmission after a lost ack, or
+        // a second copy of a stashed message): suppress, but re-ack so the
+        // sender stops retransmitting.
+        pk.dup_suppressed++;
+        AckReliable(&channel, msg.rel_seq);
+        return true;
+      }
+      AckReliable(&channel, msg.rel_seq);
+      if (msg.rel_seq > channel.expected_rel_seq) {
+        // Out of order (an earlier reliable payload is still in flight):
+        // stash until the gap fills.  Not a delivery yet.
+        channel.stashed.emplace(msg.rel_seq, std::move(msg));
+        return true;
+      }
+      channel.expected_rel_seq++;
+      // The gap this message filled may release stashed successors.  They were
+      // already received and acked, so they must NOT re-enter the queue (where
+      // loss faults apply); collect them now — before the handler runs and can
+      // mutate channel state — and deliver them inline, in order.
+      std::vector<Message> ready;
+      while (!channel.stashed.empty() &&
+             channel.stashed.begin()->first == channel.expected_rel_seq) {
+        ready.push_back(std::move(channel.stashed.begin()->second));
+        channel.stashed.erase(channel.stashed.begin());
+        channel.expected_rel_seq++;
+      }
+      pk.delivered++;
+      handler->second->HandleMessage(msg);
+      for (Message& released : ready) {
+        auto h = handlers_.find(released.dst);
+        if (h == handlers_.end()) {
+          break;  // destination crashed mid-delivery; volatile state is gone
+        }
+        stats_.For(released.payload->kind()).delivered++;
+        h->second->HandleMessage(released);
+      }
+      return true;
+    }
+
+    pk.delivered++;
+    handler->second->HandleMessage(msg);
     return true;
   }
   return false;
+}
+
+bool Network::FireRetransmitTimers() {
+  uint64_t earliest = UINT64_MAX;
+  for (const auto& [key, channel] : channels_) {
+    if (channel.unacked.empty() || !ReachableChannel(key)) {
+      continue;
+    }
+    for (const auto& [rel_seq, entry] : channel.unacked) {
+      earliest = std::min(earliest, entry.next_retry);
+    }
+  }
+  if (earliest == UINT64_MAX) {
+    return false;
+  }
+  if (now_ < earliest) {
+    now_ = earliest;  // event-driven virtual time: jump to the next deadline
+  }
+  bool fired = false;
+  for (auto& [key, channel] : channels_) {
+    if (channel.unacked.empty() || !ReachableChannel(key)) {
+      continue;
+    }
+    for (auto& [rel_seq, entry] : channel.unacked) {
+      if (entry.next_retry > now_) {
+        continue;
+      }
+      entry.attempts++;
+      uint64_t backoff = retransmit_timeout_
+                         << std::min<uint32_t>(entry.attempts, 16);  // exponential, capped
+      entry.next_retry = now_ + backoff;
+      stats_.For(entry.msg.payload->kind()).retransmits++;
+      CountWireCopy(*entry.msg.payload);
+      channel.queue.push_back(entry.msg);
+      pending_++;
+      fired = true;
+    }
+  }
+  return fired;
 }
 
 void Network::RunUntilIdle() {
   // Budget guards against a protocol that ping-pongs forever; no legitimate
   // workload in this repository approaches it.
   size_t budget = 50'000'000;
-  while (DeliverOne()) {
+  for (;;) {
+    if (!DeliverOne() && !FireRetransmitTimers()) {
+      break;
+    }
     BMX_CHECK_GT(budget--, 0u) << "network failed to quiesce";
   }
 }
@@ -210,12 +415,67 @@ bool Network::Idle() const { return pending_ == 0; }
 
 size_t Network::PendingCount() const { return pending_; }
 
+size_t Network::UnackedCount() const {
+  size_t n = 0;
+  for (const auto& [key, channel] : channels_) {
+    n += channel.unacked.size();
+  }
+  return n;
+}
+
+size_t Network::HeldCount() const {
+  size_t n = 0;
+  for (const auto& [key, channel] : channels_) {
+    if (handlers_.count(key.second) == 0) {
+      n += channel.unacked.size();
+    }
+  }
+  return n;
+}
+
 void Network::DisconnectNode(NodeId node) {
   handlers_.erase(node);
-  for (auto& [key, queue] : channels_) {
-    if (key.first == node || key.second == node) {
-      pending_ -= queue.size();
-      queue.clear();
+  for (auto it = channels_.begin(); it != channels_.end();) {
+    Channel& channel = it->second;
+    bool to_node = it->first.second == node;
+    bool from_node = it->first.first == node;
+    if (!to_node && !from_node) {
+      ++it;
+      continue;
+    }
+    // Queued wire copies die either way: a crashed sender's in-flight traffic
+    // is discarded with its volatile state, and copies headed to the crashed
+    // node can no longer be received.  Reliable payloads TO the node survive
+    // in the unacked buffer (parked for redelivery); everything FROM the node
+    // is gone for good.
+    for (const Message& msg : channel.queue) {
+      if (to_node && msg.payload->reliable()) {
+        continue;  // its unacked entry below is the surviving parked copy
+      }
+      if (!msg.payload->reliable()) {
+        stats_.For(msg.payload->kind()).dropped++;
+      }
+    }
+    pending_ -= channel.queue.size();
+    channel.queue.clear();
+    channel.stashed.clear();
+    if (from_node) {
+      channel.unacked.clear();
+    } else {
+      for (const auto& [rel_seq, entry] : channel.unacked) {
+        stats_.For(entry.msg.payload->kind()).parked++;
+      }
+    }
+    // Re-registration semantics: sequences RESET.  The next incarnation of
+    // the node starts every channel from seq zero (both directions), so it
+    // can never observe a discontinuity from its predecessor's traffic.
+    channel.next_seq = 0;
+    channel.next_rel_seq = 0;
+    channel.expected_rel_seq = 0;
+    if (channel.unacked.empty()) {
+      it = channels_.erase(it);  // prune empty channels
+    } else {
+      ++it;
     }
   }
 }

@@ -1,11 +1,27 @@
-// Deterministic simulated network: FIFO point-to-point channels, per-kind
-// statistics, and seeded fault injection (loss and duplication) for payloads
-// that declare themselves tolerant of unreliable delivery.
+// Deterministic simulated network: FIFO point-to-point channels, per-kind and
+// per-category statistics, seeded fault injection (loss, duplication,
+// reordering, transient partitions, node crashes), and a reliable-delivery
+// layer for payloads that declare reliable() == true.
 //
 // The simulation is single-threaded and event-driven: Send() enqueues,
-// RunUntilIdle() drains every channel in a deterministic round-robin order,
-// invoking the destination node's handler for each delivery.  Handlers may
-// send further messages; delivery continues until the network is quiescent.
+// RunUntilIdle() drains every channel in a deterministic order, invoking the
+// destination node's handler for each delivery.  Handlers may send further
+// messages; delivery continues until the network is quiescent.
+//
+// Delivery classes (see docs/PROTOCOLS.md, "Delivery guarantees and fault
+// model"):
+//
+//   * reliable() payloads get exactly-once, per-channel FIFO delivery.  Each
+//     transmission can be lost (reliable_loss_rate, partitions) and its
+//     transport ack can be lost (ack_loss_rate); a virtual clock drives
+//     timeout-based retransmission with exponential backoff, and the receiver
+//     suppresses duplicates / reassembles order keyed on the original
+//     reliable sequence number.  Traffic addressed to a disconnected node is
+//     held in the sender's unacked buffer and replayed, FIFO and
+//     deduplicated, when the node re-registers.
+//   * unreliable payloads are datagrams: loss_rate, duplication_rate and
+//     reorder_rate apply, duplicates reach the handler (carrying the original
+//     seq so receivers *can* dedup), and nothing is ever retransmitted.
 
 #ifndef SRC_NET_NETWORK_H_
 #define SRC_NET_NETWORK_H_
@@ -15,6 +31,7 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <set>
 #include <utility>
 #include <vector>
 
@@ -32,19 +49,45 @@ class MessageHandler {
 
 struct NetworkStats {
   struct PerKind {
-    uint64_t sent = 0;
-    uint64_t delivered = 0;
-    uint64_t dropped = 0;
-    uint64_t duplicated = 0;
-    uint64_t bytes = 0;  // wire bytes of sent messages
+    uint64_t sent = 0;        // logical sends (duplicates/retransmits excluded)
+    uint64_t delivered = 0;   // handed to a handler exactly once each
+    uint64_t dropped = 0;     // app-visible losses (unreliable class only)
+    uint64_t duplicated = 0;  // extra wire copies injected by duplication faults
+    uint64_t bytes = 0;       // wire bytes of logical sends
+    // bytes plus every duplicate, retransmission and redelivery copy — the
+    // traffic a real wire would carry under the configured fault mix.
+    uint64_t wire_bytes = 0;
+    uint64_t lost_transmissions = 0;  // reliable copies lost in flight/partition
+    uint64_t retransmits = 0;         // timer-driven resends of unacked payloads
+    uint64_t dup_suppressed = 0;      // receiver-side dedup hits (reliable stream)
+    uint64_t reordered = 0;           // sends perturbed by reordering injection
+    uint64_t parked = 0;              // reliable payloads held for a down node
+    uint64_t redelivered = 0;         // parked payloads replayed on re-register
   };
+  // Category is recorded from each payload at Send time (a single kind can
+  // span categories, e.g. acquire requests issued for a baseline collector).
+  struct PerCategory {
+    uint64_t sent = 0;
+    uint64_t bytes = 0;
+    uint64_t wire_bytes = 0;
+  };
+
   std::array<PerKind, static_cast<size_t>(MsgKind::kMaxKind)> per_kind;
+  std::array<PerCategory, kNumMsgCategories> per_category;
 
   PerKind& For(MsgKind kind) { return per_kind[static_cast<size_t>(kind)]; }
   const PerKind& For(MsgKind kind) const { return per_kind[static_cast<size_t>(kind)]; }
+  PerCategory& ForCategory(MsgCategory c) { return per_category[static_cast<size_t>(c)]; }
+  const PerCategory& ForCategory(MsgCategory c) const {
+    return per_category[static_cast<size_t>(c)];
+  }
 
   uint64_t TotalSent() const;
   uint64_t TotalBytes() const;
+  uint64_t TotalWireBytes() const;
+  uint64_t TotalRetransmits() const;
+  uint64_t TotalDupSuppressed() const;
+  uint64_t TotalRedelivered() const;
   uint64_t SentInCategory(MsgCategory category) const;
   uint64_t BytesInCategory(MsgCategory category) const;
 };
@@ -53,45 +96,131 @@ class Network {
  public:
   explicit Network(uint64_t seed = 1) : rng_(seed) {}
 
+  // Attaches (or re-attaches) a node.  Re-registration after DisconnectNode
+  // starts every channel touching the node from sequence number zero — a
+  // recovered node never observes a seq discontinuity — and replays reliable
+  // traffic that was parked for the node while it was down (FIFO per channel,
+  // deduplicated, re-stamped with fresh sequence numbers).
   void RegisterNode(NodeId node, MessageHandler* handler);
 
   // Enqueues a message for FIFO delivery on the (src, dst) channel.  Fault
-  // injection applies only to payloads with reliable() == false.
+  // injection applies per delivery class (see header comment).
   void Send(NodeId src, NodeId dst, std::shared_ptr<const Payload> payload);
 
-  // Delivers exactly one pending message (the head of the next non-empty
-  // channel in round-robin order).  Returns false if nothing was pending.
+  // Consumes the head of the next non-empty channel: delivers it, or spends
+  // it on a fault (loss, duplicate suppression, reassembly stash, parking).
+  // Each consumed message advances the virtual clock by one tick.  Returns
+  // false if nothing was pending.
   bool DeliverOne();
 
+  // Retransmits every due unacked reliable payload whose destination is
+  // reachable (registered, not partitioned), first advancing the virtual
+  // clock to the earliest deadline if none is due yet.  Returns false if
+  // there was nothing eligible to retransmit.
+  bool FireRetransmitTimers();
+
   // Drains all channels; handlers may enqueue more work, which is also
-  // drained.  Guarded against runaway protocols by a delivery budget.
+  // drained, and unacked reliable payloads are retransmitted (advancing the
+  // virtual clock past their backoff deadlines) until every reachable
+  // destination has acked.  Guarded against runaway protocols by a delivery
+  // budget.  Reliable traffic to disconnected or partitioned nodes stays
+  // parked and does not prevent quiescence.
   void RunUntilIdle();
 
   bool Idle() const;
   size_t PendingCount() const;
+  // Unacked reliable payloads (in flight, awaiting ack, or parked).
+  size_t UnackedCount() const;
+  // Unacked reliable payloads whose destination is currently unregistered;
+  // these are replayed when the destination re-registers.
+  size_t HeldCount() const;
 
-  // Loss probability applied to unreliable payloads.
+  // --- Virtual clock (ticks; one tick per consumed message). ---
+  uint64_t now() const { return now_; }
+  void AdvanceClock(uint64_t ticks) { now_ += ticks; }
+  // Base retransmission timeout; attempt k backs off to base << k ticks.
+  void set_retransmit_timeout(uint64_t ticks);
+
+  // --- Fault injection. ---
+  // Loss probability applied to unreliable payloads (app-visible loss).
   void set_loss_rate(double p) { loss_rate_ = p; }
-  // Duplication probability applied to unreliable payloads.
+  // Duplication probability.  Unreliable duplicates reach the handler;
+  // reliable duplicates are suppressed by the receiver (and counted).
   void set_duplication_rate(double p) { duplication_rate_ = p; }
+  // Probability that a send is enqueued one slot early, perturbing channel
+  // order.  The reliable stream is reassembled in order at the receiver;
+  // unreliable payloads arrive out of order.
+  void set_reorder_rate(double p) { reorder_rate_ = p; }
+  // Probability that a single transmission of a reliable payload is lost in
+  // flight (masked by retransmission).  Must be < 1.0 or delivery could
+  // never terminate.
+  void set_reliable_loss_rate(double p);
+  // Probability that the transport ack for a delivered reliable payload is
+  // lost, forcing a retransmission the receiver then suppresses.  Must be
+  // < 1.0.
+  void set_ack_loss_rate(double p);
+  // Deterministically loses the next n reliable transmissions (testing hook
+  // for retransmission/backoff behavior).
+  void ForceDropReliableTransmissions(size_t n) { force_drop_reliable_ += n; }
+
+  // Transient partition between a and b (both directions): unreliable
+  // traffic is dropped, reliable traffic waits in the unacked buffer and
+  // flows after HealPartition.
+  void PartitionNodes(NodeId a, NodeId b);
+  void HealPartition(NodeId a, NodeId b);
+  bool Partitioned(NodeId a, NodeId b) const;
 
   const NetworkStats& stats() const { return stats_; }
   void ResetStats() { stats_ = NetworkStats{}; }
 
-  // Simulates a node crash: all traffic queued to or from the node is
-  // discarded and the handler unregistered until re-registration.
+  // Simulates a node crash: the handler is unregistered, traffic queued from
+  // the node is discarded (its volatile send state dies with it), queued
+  // unreliable traffic to the node is dropped, and unacked reliable traffic
+  // to the node is parked for redelivery.  All channel sequence state
+  // touching the node is reset; empty channels are pruned.
   void DisconnectNode(NodeId node);
 
  private:
   using ChannelKey = std::pair<NodeId, NodeId>;
 
+  struct RetxEntry {
+    Message msg;
+    uint32_t attempts = 0;  // retransmissions so far (not counting the send)
+    uint64_t next_retry = 0;
+  };
+
+  struct Channel {
+    std::deque<Message> queue;  // wire copies awaiting a delivery attempt
+    uint64_t next_seq = 0;
+    uint64_t next_rel_seq = 0;
+    // Receiver state for the reliable stream.
+    uint64_t expected_rel_seq = 0;
+    std::map<uint64_t, Message> stashed;  // out-of-order reliable arrivals
+    // Sender state: every un-acked reliable payload, keyed by rel_seq.  Also
+    // serves as the redelivery queue while the destination is disconnected.
+    std::map<uint64_t, RetxEntry> unacked;
+  };
+
+  void Enqueue(Channel* channel, Message msg);
+  // Transport-level ack for a received reliable payload (subject to ack
+  // loss).  Returns true if the sender's unacked entry was retired.
+  void AckReliable(Channel* channel, uint64_t rel_seq);
+  bool ReachableChannel(const ChannelKey& key) const;
+  void CountWireCopy(const Payload& payload);
+
   Rng rng_;
+  uint64_t now_ = 0;
+  uint64_t retransmit_timeout_ = 8;
   double loss_rate_ = 0.0;
   double duplication_rate_ = 0.0;
+  double reorder_rate_ = 0.0;
+  double reliable_loss_rate_ = 0.0;
+  double ack_loss_rate_ = 0.0;
+  size_t force_drop_reliable_ = 0;
   std::map<NodeId, MessageHandler*> handlers_;
   // std::map keeps channel iteration order deterministic.
-  std::map<ChannelKey, std::deque<Message>> channels_;
-  std::map<ChannelKey, uint64_t> next_seq_;
+  std::map<ChannelKey, Channel> channels_;
+  std::set<ChannelKey> partitions_;  // stored as (min, max)
   NetworkStats stats_;
   size_t pending_ = 0;
 };

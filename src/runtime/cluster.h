@@ -34,14 +34,29 @@ class Cluster {
 
   BunchId CreateBunch(NodeId creator);
 
-  // Drains all in-flight messages.
+  // Drains all in-flight messages, including timeout-driven retransmissions
+  // of reliable payloads (the network's virtual clock advances as needed).
   void Pump() { network_.RunUntilIdle(); }
 
-  // Simulates a node crash: volatile state discarded, in-flight traffic to
-  // and from the node dropped.  Stable storage (the shared Disk) survives.
+  // Advances the network's virtual clock, e.g. to make pending retransmission
+  // timers due before the next Pump.
+  void AdvanceTime(uint64_t ticks) { network_.AdvanceClock(ticks); }
+
+  // Transient network partition between two live nodes (both directions).
+  // Unreliable traffic between them is dropped; reliable traffic waits in the
+  // sender's retransmission buffer and flows once the partition heals.
+  void PartitionNodes(NodeId a, NodeId b) { network_.PartitionNodes(a, b); }
+  void HealPartition(NodeId a, NodeId b) { network_.HealPartition(a, b); }
+
+  // Simulates a node crash: volatile state is discarded, in-flight traffic
+  // from the node is dropped, unreliable traffic to it is lost, and reliable
+  // traffic to it is parked in each sender's retransmission buffer.  Stable
+  // storage (the shared Disk) survives.
   void CrashNode(NodeId id);
-  // Brings a crashed node back with empty volatile state; callers recover
-  // segments through node.persistence().
+  // Brings a crashed node back with empty volatile state; reliable traffic
+  // parked while it was down is replayed to the new incarnation (FIFO per
+  // sender, deduplicated).  Callers recover segments through
+  // node.persistence().
   Node& RestartNode(NodeId id);
 
  private:

@@ -23,6 +23,16 @@ struct UnreliableProbe : public Payload {
   bool reliable() const override { return false; }
 };
 
+// A kind whose category used to be wrong under the hard-coded kind→category
+// switch (RcIncrement fell through to the GC-background default); the stats
+// must follow what the payload itself declares.
+struct ForegroundProbe : public Payload {
+  MsgKind kind() const override { return MsgKind::kRcIncrement; }
+  MsgCategory category() const override { return MsgCategory::kGcForeground; }
+  size_t WireSize() const override { return 24; }
+  bool reliable() const override { return false; }
+};
+
 class Recorder : public MessageHandler {
  public:
   void HandleMessage(const Message& msg) override {
@@ -38,6 +48,10 @@ class Recorder : public MessageHandler {
   bool replied = false;
 };
 
+uint64_t ValueOf(const Message& msg) {
+  return static_cast<const ReliableProbe&>(*msg.payload).value;
+}
+
 TEST(Network, DeliversInFifoOrderPerChannel) {
   Network net(1);
   Recorder r;
@@ -50,7 +64,7 @@ TEST(Network, DeliversInFifoOrderPerChannel) {
   net.RunUntilIdle();
   ASSERT_EQ(r.received.size(), 10u);
   for (uint64_t i = 0; i < 10; ++i) {
-    EXPECT_EQ(static_cast<const ReliableProbe&>(*r.received[i].payload).value, i);
+    EXPECT_EQ(ValueOf(r.received[i]), i);
     EXPECT_EQ(r.received[i].seq, i);
   }
 }
@@ -74,12 +88,13 @@ TEST(Network, ReliablePayloadsNeverDropped) {
   Network net(99);
   Recorder r;
   net.RegisterNode(1, &r);
-  net.set_loss_rate(1.0);  // drop everything droppable
+  net.set_loss_rate(1.0);  // datagram loss does not touch the reliable class
   for (int i = 0; i < 50; ++i) {
     net.Send(0, 1, std::make_shared<ReliableProbe>());
   }
   net.RunUntilIdle();
   EXPECT_EQ(r.received.size(), 50u);
+  EXPECT_EQ(net.UnackedCount(), 0u);
 }
 
 TEST(Network, UnreliablePayloadsDropAtConfiguredRate) {
@@ -99,7 +114,76 @@ TEST(Network, UnreliablePayloadsDropAtConfiguredRate) {
             400u);
 }
 
-TEST(Network, DuplicationOnlyAffectsUnreliable) {
+TEST(Network, ReliableTransmissionLossIsMaskedByRetransmission) {
+  Network net(42);
+  Recorder r;
+  net.RegisterNode(1, &r);
+  net.set_reliable_loss_rate(0.5);
+  for (uint64_t i = 0; i < 20; ++i) {
+    auto p = std::make_shared<ReliableProbe>();
+    p->value = i;
+    net.Send(0, 1, std::move(p));
+  }
+  net.RunUntilIdle();
+  ASSERT_EQ(r.received.size(), 20u);
+  for (uint64_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(ValueOf(r.received[i]), i);  // still exactly-once, in order
+  }
+  EXPECT_GT(net.stats().For(MsgKind::kAddressChange).lost_transmissions, 0u);
+  EXPECT_GT(net.stats().TotalRetransmits(), 0u);
+  EXPECT_EQ(net.UnackedCount(), 0u);
+}
+
+TEST(Network, LostAcksForceSuppressedRetransmissions) {
+  Network net(42);
+  Recorder r;
+  net.RegisterNode(1, &r);
+  net.set_ack_loss_rate(0.5);
+  for (uint64_t i = 0; i < 20; ++i) {
+    auto p = std::make_shared<ReliableProbe>();
+    p->value = i;
+    net.Send(0, 1, std::move(p));
+  }
+  net.RunUntilIdle();
+  ASSERT_EQ(r.received.size(), 20u);  // duplicates never reach the handler
+  for (uint64_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(ValueOf(r.received[i]), i);
+  }
+  EXPECT_GT(net.stats().TotalRetransmits(), 0u);
+  EXPECT_GT(net.stats().TotalDupSuppressed(), 0u);
+  EXPECT_EQ(net.UnackedCount(), 0u);
+}
+
+TEST(Network, RetransmitBackoffIsExponential) {
+  Network net(1);
+  Recorder r;
+  net.RegisterNode(1, &r);
+  net.set_retransmit_timeout(8);
+  net.ForceDropReliableTransmissions(3);
+  net.Send(0, 1, std::make_shared<ReliableProbe>());
+
+  EXPECT_TRUE(net.DeliverOne());  // first transmission, force-dropped
+  EXPECT_TRUE(r.received.empty());
+
+  std::vector<uint64_t> fire_times;
+  while (r.received.empty()) {
+    if (!net.DeliverOne()) {
+      ASSERT_TRUE(net.FireRetransmitTimers());
+      fire_times.push_back(net.now());
+    }
+  }
+  ASSERT_EQ(fire_times.size(), 3u);
+  EXPECT_EQ(fire_times[0], 8u);  // base timeout
+  // Each retry waits twice as long as the previous one.
+  EXPECT_EQ(fire_times[2] - fire_times[1], 2 * (fire_times[1] - fire_times[0]));
+  EXPECT_EQ(net.stats().For(MsgKind::kAddressChange).retransmits, 3u);
+  EXPECT_EQ(net.stats().For(MsgKind::kAddressChange).lost_transmissions, 3u);
+  EXPECT_EQ(r.received.size(), 1u);
+  net.RunUntilIdle();
+  EXPECT_EQ(net.UnackedCount(), 0u);
+}
+
+TEST(Network, DuplicateSuppressionOnlyAffectsReliable) {
   Network net(7);
   Recorder r;
   net.RegisterNode(1, &r);
@@ -107,7 +191,61 @@ TEST(Network, DuplicationOnlyAffectsUnreliable) {
   net.Send(0, 1, std::make_shared<UnreliableProbe>());
   net.Send(0, 1, std::make_shared<ReliableProbe>());
   net.RunUntilIdle();
-  EXPECT_EQ(r.received.size(), 3u);  // unreliable duplicated, reliable not
+  // The unreliable duplicate reaches the handler (datagram semantics, §6.1
+  // tables are designed to tolerate it); the reliable one is suppressed.
+  EXPECT_EQ(r.received.size(), 3u);
+  EXPECT_EQ(net.stats().For(MsgKind::kAddressChange).dup_suppressed, 1u);
+  EXPECT_EQ(net.stats().For(MsgKind::kAddressChange).delivered, 1u);
+}
+
+TEST(Network, DuplicatesKeepOriginalSeqAndCountWireBytes) {
+  Network net(7);
+  Recorder r;
+  net.RegisterNode(1, &r);
+  net.set_duplication_rate(1.0);
+  net.Send(0, 1, std::make_shared<UnreliableProbe>());
+  net.RunUntilIdle();
+  ASSERT_EQ(r.received.size(), 2u);
+  // Both wire copies are the SAME message: receivers can dedup on seq.
+  EXPECT_EQ(r.received[0].seq, r.received[1].seq);
+  const auto& pk = net.stats().For(MsgKind::kReachabilityTable);
+  EXPECT_EQ(pk.sent, 1u);
+  EXPECT_EQ(pk.duplicated, 1u);
+  EXPECT_EQ(pk.bytes, 8u);        // logical traffic
+  EXPECT_EQ(pk.wire_bytes, 16u);  // what the wire actually carried
+}
+
+TEST(Network, ReorderingPerturbsDatagramsButNotReliableStream) {
+  Network net(3);
+  Recorder r;
+  net.RegisterNode(1, &r);
+  net.set_reorder_rate(1.0);
+  for (uint64_t i = 0; i < 3; ++i) {
+    auto p = std::make_shared<UnreliableProbe>();
+    p->value = i;
+    net.Send(0, 1, std::move(p));
+  }
+  net.RunUntilIdle();
+  ASSERT_EQ(r.received.size(), 3u);
+  bool in_order = true;
+  for (uint64_t i = 0; i < 3; ++i) {
+    in_order = in_order &&
+               static_cast<const UnreliableProbe&>(*r.received[i].payload).value == i;
+  }
+  EXPECT_FALSE(in_order);
+  EXPECT_GT(net.stats().For(MsgKind::kReachabilityTable).reordered, 0u);
+
+  r.received.clear();
+  for (uint64_t i = 0; i < 5; ++i) {
+    auto p = std::make_shared<ReliableProbe>();
+    p->value = i;
+    net.Send(0, 1, std::move(p));
+  }
+  net.RunUntilIdle();
+  ASSERT_EQ(r.received.size(), 5u);
+  for (uint64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(ValueOf(r.received[i]), i);  // reassembled in rel_seq order
+  }
 }
 
 TEST(Network, StatsAccounting) {
@@ -119,6 +257,7 @@ TEST(Network, StatsAccounting) {
   net.RunUntilIdle();
   EXPECT_EQ(net.stats().TotalSent(), 2u);
   EXPECT_EQ(net.stats().TotalBytes(), 16u);
+  EXPECT_EQ(net.stats().TotalWireBytes(), 16u);  // fault-free: wire == logical
   EXPECT_EQ(net.stats().For(MsgKind::kAddressChange).sent, 1u);
   EXPECT_EQ(net.stats().SentInCategory(MsgCategory::kGcBackground), 2u);
   EXPECT_EQ(net.stats().SentInCategory(MsgCategory::kDsm), 0u);
@@ -126,28 +265,119 @@ TEST(Network, StatsAccounting) {
   EXPECT_EQ(net.stats().TotalSent(), 0u);
 }
 
-TEST(Network, DisconnectDropsQueuedTraffic) {
+TEST(Network, CategoryAccountingFollowsThePayload) {
   Network net(1);
   Recorder r;
   net.RegisterNode(1, &r);
-  net.Send(0, 1, std::make_shared<ReliableProbe>());
-  net.Send(1, 0, std::make_shared<ReliableProbe>());
+  net.Send(0, 1, std::make_shared<ForegroundProbe>());
+  net.RunUntilIdle();
+  // kRcIncrement used to be misfiled under the background default by the
+  // hard-coded switch; the payload says foreground, so the stats must too.
+  EXPECT_EQ(net.stats().SentInCategory(MsgCategory::kGcForeground), 1u);
+  EXPECT_EQ(net.stats().BytesInCategory(MsgCategory::kGcForeground), 24u);
+  EXPECT_EQ(net.stats().SentInCategory(MsgCategory::kGcBackground), 0u);
+}
+
+TEST(Network, DisconnectParksReliableAndDropsTheRest) {
+  Network net(1);
+  Recorder r;
+  net.RegisterNode(1, &r);
+  net.Send(0, 1, std::make_shared<ReliableProbe>());    // parked for redelivery
+  net.Send(0, 1, std::make_shared<UnreliableProbe>());  // lost with the node
+  net.Send(1, 0, std::make_shared<ReliableProbe>());    // dies with the sender
   net.DisconnectNode(1);
   net.RunUntilIdle();
   EXPECT_TRUE(r.received.empty());
   EXPECT_TRUE(net.Idle());
+  EXPECT_EQ(net.HeldCount(), 1u);
+  EXPECT_EQ(net.stats().For(MsgKind::kAddressChange).parked, 1u);
 }
 
-TEST(Network, MessageToUnregisteredNodeIsLostQuietly) {
+TEST(Network, ReliableToUnregisteredNodeIsHeldNotLost) {
   Network net(1);
   net.Send(0, 9, std::make_shared<ReliableProbe>());
   net.RunUntilIdle();
-  EXPECT_TRUE(net.Idle());
+  EXPECT_TRUE(net.Idle());  // parked traffic does not prevent quiescence
+  EXPECT_EQ(net.HeldCount(), 1u);
+}
+
+TEST(Network, RedeliveryAfterReconnectIsFifoAndDeduplicated) {
+  Network net(1);
+  Recorder r;
+  net.RegisterNode(1, &r);
+  for (uint64_t i = 0; i < 3; ++i) {
+    auto p = std::make_shared<ReliableProbe>();
+    p->value = i;
+    net.Send(0, 1, std::move(p));
+  }
+  net.RunUntilIdle();
+  net.DisconnectNode(1);
+  for (uint64_t i = 3; i < 6; ++i) {
+    auto p = std::make_shared<ReliableProbe>();
+    p->value = i;
+    net.Send(0, 1, std::move(p));
+  }
+  net.RunUntilIdle();  // quiesces; the three new payloads are parked
+  EXPECT_EQ(net.HeldCount(), 3u);
+
+  Recorder fresh;
+  net.RegisterNode(1, &fresh);
+  net.RunUntilIdle();
+  ASSERT_EQ(fresh.received.size(), 3u);
+  for (uint64_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(ValueOf(fresh.received[i]), i + 3);  // original FIFO order
+    // Sequence reset: the new incarnation starts from seq 0, no discontinuity
+    // from the five messages the dead incarnation consumed.
+    EXPECT_EQ(fresh.received[i].seq, i);
+  }
+  EXPECT_EQ(net.stats().TotalRedelivered(), 3u);
+  EXPECT_EQ(net.HeldCount(), 0u);
+  EXPECT_EQ(net.UnackedCount(), 0u);
+}
+
+TEST(Network, PartitionHoldsReliableTrafficUntilHealed) {
+  Network net(1);
+  Recorder a;
+  Recorder b;
+  net.RegisterNode(1, &a);
+  net.RegisterNode(2, &b);
+  net.PartitionNodes(1, 2);
+  EXPECT_TRUE(net.Partitioned(2, 1));  // symmetric
+
+  net.Send(1, 2, std::make_shared<ReliableProbe>());
+  net.Send(1, 2, std::make_shared<UnreliableProbe>());
+  net.Send(0, 1, std::make_shared<ReliableProbe>());  // unrelated channel flows
+  net.RunUntilIdle();
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_EQ(a.received.size(), 1u);
+  EXPECT_EQ(net.UnackedCount(), 1u);  // reliable waits out the partition
+  EXPECT_EQ(net.stats().For(MsgKind::kReachabilityTable).dropped, 1u);
+
+  net.HealPartition(1, 2);
+  net.RunUntilIdle();
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_GT(net.stats().For(MsgKind::kAddressChange).retransmits, 0u);
+  EXPECT_EQ(net.UnackedCount(), 0u);
 }
 
 TEST(Network, DeliverOneReturnsFalseWhenEmpty) {
   Network net(1);
   EXPECT_FALSE(net.DeliverOne());
+}
+
+TEST(Network, VirtualClockAdvancesPerConsumedMessage) {
+  Network net(1);
+  Recorder r;
+  net.RegisterNode(1, &r);
+  EXPECT_EQ(net.now(), 0u);
+  net.Send(0, 1, std::make_shared<ReliableProbe>());
+  net.Send(0, 1, std::make_shared<ReliableProbe>());
+  net.DeliverOne();
+  EXPECT_EQ(net.now(), 1u);
+  net.AdvanceClock(10);
+  EXPECT_EQ(net.now(), 11u);
+  net.RunUntilIdle();
+  EXPECT_EQ(net.now(), 12u);
 }
 
 TEST(Network, PendingCountTracksQueue) {
