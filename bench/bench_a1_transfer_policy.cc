@@ -67,4 +67,4 @@ BENCHMARK(A1_ReplicateInterSsp)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark:
 }  // namespace
 }  // namespace bmx
 
-BENCHMARK_MAIN();
+BMX_BENCHMARK_MAIN();

@@ -104,4 +104,4 @@ BENCHMARK(A2_CopySetDistributed)->Arg(2)->Arg(4)->Arg(7)->Unit(benchmark::kMicro
 }  // namespace
 }  // namespace bmx
 
-BENCHMARK_MAIN();
+BMX_BENCHMARK_MAIN();

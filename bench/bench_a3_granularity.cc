@@ -86,4 +86,4 @@ BENCHMARK(A3_SyncCostVsObjectSize)
 }  // namespace
 }  // namespace bmx
 
-BENCHMARK_MAIN();
+BMX_BENCHMARK_MAIN();

@@ -93,4 +93,4 @@ BENCHMARK(E10_RawPointerEquality);
 }  // namespace
 }  // namespace bmx
 
-BENCHMARK_MAIN();
+BMX_BENCHMARK_MAIN();

@@ -97,4 +97,4 @@ BENCHMARK(E1_InterBunchStore_RemoteTarget);
 }  // namespace
 }  // namespace bmx
 
-BENCHMARK_MAIN();
+BMX_BENCHMARK_MAIN();

@@ -73,4 +73,4 @@ BENCHMARK(E2_StrongCopy)->DenseRange(1, 8)->Unit(benchmark::kMicrosecond);
 }  // namespace
 }  // namespace bmx
 
-BENCHMARK_MAIN();
+BMX_BENCHMARK_MAIN();

@@ -106,4 +106,4 @@ BENCHMARK(E3_ReaderDuringStrongGc)->Unit(benchmark::kMicrosecond);
 }  // namespace
 }  // namespace bmx
 
-BENCHMARK_MAIN();
+BMX_BENCHMARK_MAIN();

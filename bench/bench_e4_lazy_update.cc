@@ -82,4 +82,4 @@ BENCHMARK(E4_EagerBroadcast)->RangeMultiplier(4)->Range(4, 256)->Unit(benchmark:
 }  // namespace
 }  // namespace bmx
 
-BENCHMARK_MAIN();
+BMX_BENCHMARK_MAIN();

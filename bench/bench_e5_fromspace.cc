@@ -90,4 +90,4 @@ BENCHMARK(E5_ReclaimNoStranded)->Unit(benchmark::kMicrosecond);
 }  // namespace
 }  // namespace bmx
 
-BENCHMARK_MAIN();
+BMX_BENCHMARK_MAIN();

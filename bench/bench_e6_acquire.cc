@@ -105,4 +105,4 @@ BENCHMARK(E6_AcquireWithIntraSsp)->Unit(benchmark::kMicrosecond);
 }  // namespace
 }  // namespace bmx
 
-BENCHMARK_MAIN();
+BMX_BENCHMARK_MAIN();

@@ -149,4 +149,4 @@ BENCHMARK(E7_RefCountUnderLoss)->Arg(0)->Arg(10)->Arg(20)->Arg(40)->Unit(benchma
 }  // namespace
 }  // namespace bmx
 
-BENCHMARK_MAIN();
+BMX_BENCHMARK_MAIN();

@@ -94,4 +94,4 @@ BENCHMARK(E8_GgcCostVsGroupSize)->RangeMultiplier(2)->Range(1, 16)->Unit(benchma
 }  // namespace
 }  // namespace bmx
 
-BENCHMARK_MAIN();
+BMX_BENCHMARK_MAIN();

@@ -58,4 +58,4 @@ BENCHMARK(E9_StopTheWorldPause)->RangeMultiplier(4)->Range(64, 4096)->Unit(bench
 }  // namespace
 }  // namespace bmx
 
-BENCHMARK_MAIN();
+BMX_BENCHMARK_MAIN();

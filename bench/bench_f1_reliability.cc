@@ -99,4 +99,4 @@ BENCHMARK(F1_CrashRecoveryRedelivery)->Arg(8)->Arg(32)->Arg(128)->Unit(benchmark
 }  // namespace
 }  // namespace bmx
 
-BENCHMARK_MAIN();
+BMX_BENCHMARK_MAIN();

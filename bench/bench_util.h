@@ -7,10 +7,15 @@
 #ifndef BENCH_BENCH_UTIL_H_
 #define BENCH_BENCH_UTIL_H_
 
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/baselines/baseline_agent.h"
+#include "src/common/perf_counters.h"
 #include "src/runtime/cluster.h"
 #include "src/runtime/mutator.h"
 
@@ -65,6 +70,87 @@ struct BenchRig {
   std::vector<std::unique_ptr<Mutator>> mutators;
 };
 
+// Hot-path counter report, printed by every bench binary after its runs so
+// the scan-kernel / lookup-table / coalescing effects are visible next to the
+// wall-clock numbers.
+inline void PrintPerfCounters() {
+  const PerfCounters& p = GlobalPerfCounters();
+  std::printf(
+      "[perf] slots_scanned=%llu words_skipped=%llu objects_walked=%llu "
+      "ref_slots_visited=%llu\n"
+      "[perf] segment_probes=%llu segment_mru_hits=%llu oid_probes=%llu "
+      "directory_probes=%llu token_probes=%llu\n"
+      "[perf] piggyback_updates_coalesced=%llu piggyback_bytes_saved=%llu "
+      "piggyback_overflow_spills=%llu\n",
+      static_cast<unsigned long long>(p.slots_scanned),
+      static_cast<unsigned long long>(p.words_skipped),
+      static_cast<unsigned long long>(p.objects_walked),
+      static_cast<unsigned long long>(p.ref_slots_visited),
+      static_cast<unsigned long long>(p.segment_probes),
+      static_cast<unsigned long long>(p.segment_mru_hits),
+      static_cast<unsigned long long>(p.oid_probes),
+      static_cast<unsigned long long>(p.directory_probes),
+      static_cast<unsigned long long>(p.token_probes),
+      static_cast<unsigned long long>(p.piggyback_updates_coalesced),
+      static_cast<unsigned long long>(p.piggyback_bytes_saved),
+      static_cast<unsigned long long>(p.piggyback_overflow_spills));
+}
+
+// Bench entry point shared by every binary.  Extends google-benchmark's CLI
+// with two repo-level flags, translated before Initialize():
+//   --json <path> / --json=<path>  write the JSON report to <path>
+//                                  (--benchmark_out in json format)
+//   --smoke                        one fast pass per benchmark — CI mode that
+//                                  exercises every code path without timing
+//                                  fidelity
+inline int BenchMain(int argc, char** argv) {
+  static std::vector<std::string> storage;  // stable backing for argv rewrite
+  storage.emplace_back(argc > 0 ? argv[0] : "benchmark");
+  std::string json_path;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else {
+      storage.push_back(std::move(arg));
+    }
+  }
+  if (!json_path.empty()) {
+    storage.push_back("--benchmark_out=" + json_path);
+    storage.push_back("--benchmark_out_format=json");
+  }
+  if (smoke) {
+    // Note: the pinned benchmark version takes a plain double (seconds).
+    storage.push_back("--benchmark_min_time=0.001");
+  }
+  std::vector<char*> args;
+  args.reserve(storage.size());
+  for (std::string& s : storage) {
+    args.push_back(s.data());
+  }
+  int ac = static_cast<int>(args.size());
+  benchmark::Initialize(&ac, args.data());
+  if (benchmark::ReportUnrecognizedArguments(ac, args.data())) {
+    return 1;
+  }
+  GlobalPerfCounters().Reset();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  PrintPerfCounters();
+  return 0;
+}
+
 }  // namespace bmx
+
+#define BMX_BENCHMARK_MAIN()             \
+  int main(int argc, char** argv) {      \
+    return ::bmx::BenchMain(argc, argv); \
+  }                                      \
+  static_assert(true, "")  // swallow the trailing semicolon
 
 #endif  // BENCH_BENCH_UTIL_H_

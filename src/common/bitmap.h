@@ -6,11 +6,13 @@
 #ifndef SRC_COMMON_BITMAP_H_
 #define SRC_COMMON_BITMAP_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
 
 #include "src/common/check.h"
+#include "src/common/perf_counters.h"
 
 namespace bmx {
 
@@ -71,6 +73,99 @@ class Bitmap {
       }
       w = words_[word];
     }
+  }
+
+  // First set bit in [from, to), or `to` (clamped to size()) if none.  The
+  // scan is word-at-a-time: an empty 64-slot run costs one load+test.
+  size_t FindNextSetInRange(size_t from, size_t to) const {
+    to = std::min(to, nbits_);
+    size_t bit = FindNextSet(from);
+    return bit < to ? bit : to;
+  }
+
+  // Word-level visit of every set bit in [from, to): one ctz loop per
+  // non-empty word, one load per empty word.  Returns the number of all-zero
+  // whole words skipped (the probes a bit-by-bit scan would have wasted).
+  // Visitor signature: void(size_t bit).
+  template <typename Fn>
+  size_t ForEachSetInRange(size_t from, size_t to, Fn&& fn) const {
+    to = std::min(to, nbits_);
+    if (from >= to) {
+      return 0;
+    }
+    size_t zero_words = 0;
+    size_t word = from >> 6;
+    const size_t last_word = (to - 1) >> 6;
+    uint64_t w = words_[word] & (~uint64_t{0} << (from & 63));
+    while (true) {
+      if (word == last_word) {
+        const size_t tail = to & 63;
+        if (tail != 0) {
+          w &= ~uint64_t{0} >> (64 - tail);
+        }
+      }
+      if (w == 0) {
+        zero_words++;
+      }
+      while (w != 0) {
+        const uint64_t low = w & (~w + 1);
+        fn((word << 6) + static_cast<size_t>(__builtin_ctzll(w)));
+        w ^= low;
+      }
+      if (word == last_word) {
+        return zero_words;
+      }
+      w = words_[++word];
+    }
+  }
+
+  template <typename Fn>
+  size_t ForEachSet(Fn&& fn) const {
+    return ForEachSetInRange(0, nbits_, static_cast<Fn&&>(fn));
+  }
+
+  // Masked AND-iteration over two equally sized bitmaps (e.g. object-map ∧
+  // ref-map): visits bits set in *both*, word-at-a-time.  Returns the number
+  // of whole words whose AND was zero.
+  template <typename Fn>
+  static size_t ForEachSetAndInRange(const Bitmap& a, const Bitmap& b, size_t from, size_t to,
+                                     Fn&& fn) {
+    BMX_CHECK_EQ(a.nbits_, b.nbits_);
+    to = std::min(to, a.nbits_);
+    if (from >= to) {
+      return 0;
+    }
+    size_t zero_words = 0;
+    size_t word = from >> 6;
+    const size_t last_word = (to - 1) >> 6;
+    uint64_t w = (a.words_[word] & b.words_[word]) & (~uint64_t{0} << (from & 63));
+    while (true) {
+      if (word == last_word) {
+        const size_t tail = to & 63;
+        if (tail != 0) {
+          w &= ~uint64_t{0} >> (64 - tail);
+        }
+      }
+      if (w == 0) {
+        zero_words++;
+      }
+      while (w != 0) {
+        const uint64_t low = w & (~w + 1);
+        fn((word << 6) + static_cast<size_t>(__builtin_ctzll(w)));
+        w ^= low;
+      }
+      if (word == last_word) {
+        return zero_words;
+      }
+      ++word;
+      w = a.words_[word] & b.words_[word];
+    }
+  }
+
+  size_t CountSetInRange(size_t from, size_t to) const {
+    size_t n = 0;
+    ForEachSetInRange(from, to, [&n](size_t) { n++; });
+    return n;
   }
 
  private:

@@ -1,0 +1,50 @@
+// Cheap monotonic hot-path counters (paper §8's efficiency mechanisms made
+// observable): how many heap slots the scan kernels visited, how many whole
+// 64-slot words they skipped in one instruction, how often the lookup tables
+// were probed and how often the one-entry MRU cache short-circuited them, and
+// what the piggyback coalescer saved on the wire.
+//
+// The counters are process-global: the simulation is single-threaded, the
+// directory is shared between nodes anyway, and a plain `++` on a global is
+// the only instrumentation cost the hot paths can afford.  Benchmarks print
+// them (bench_util.h) and reset them per measurement; tests assert on them.
+
+#ifndef SRC_COMMON_PERF_COUNTERS_H_
+#define SRC_COMMON_PERF_COUNTERS_H_
+
+#include <cstdint>
+
+namespace bmx {
+
+struct PerfCounters {
+  // Scan kernels (bitmap word-level iteration).
+  uint64_t slots_scanned = 0;       // set bits actually visited by a kernel
+  uint64_t words_skipped = 0;       // all-zero 64-slot words skipped whole
+  uint64_t objects_walked = 0;      // objects visited via object-map iteration
+  uint64_t ref_slots_visited = 0;   // reference slots visited via ref-map kernels
+
+  // Lookup structures.
+  uint64_t segment_probes = 0;      // ReplicaStore segment-table lookups
+  uint64_t segment_mru_hits = 0;    // ...answered by the one-entry MRU cache
+  uint64_t oid_probes = 0;          // ReplicaStore oid→address lookups
+  uint64_t directory_probes = 0;    // SegmentDirectory flat-table lookups
+  uint64_t token_probes = 0;        // DsmNode token-table lookups
+
+  // Piggyback coalescing.
+  uint64_t piggyback_updates_coalesced = 0;  // AddressUpdate entries dropped
+  uint64_t piggyback_bytes_saved = 0;        // wire bytes those entries cost
+  uint64_t piggyback_overflow_spills = 0;    // caps hit: tail sent in background
+
+  void Reset() { *this = PerfCounters{}; }
+};
+
+// Single process-wide instance.  Header-inline so every layer (bitmap,
+// mem, dsm, gc) can bump counters without a link-time dependency.
+inline PerfCounters& GlobalPerfCounters() {
+  static PerfCounters counters;
+  return counters;
+}
+
+}  // namespace bmx
+
+#endif  // SRC_COMMON_PERF_COUNTERS_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/check.h"
+#include "src/gc/payloads.h"
 
 namespace bmx {
 
@@ -355,20 +356,33 @@ std::vector<AddressUpdate> DsmNode::BuildInvariant1Updates(Oid oid) const {
     return out;
   }
   const ObjectHeader* header = store_->HeaderOf(addr);
-  for (size_t i = 0; i < header->size_slots; ++i) {
-    if (!store_->SlotIsRef(addr, i)) {
-      continue;
-    }
-    Gaddr target = store_->ReadSlot(addr, i);
+  store_->ForEachRefSlot(addr, header->size_slots, [&](size_t, uint64_t target) {
     if (target == kNullAddr) {
-      continue;
+      return;
     }
     Gaddr resolved = ResolveAddr(target);
     if (store_->HasObjectAt(resolved)) {
       add_history(store_->HeaderOf(resolved)->oid);
     }
-  }
+  });
+  // Last-write-wins collapse before the list rides a consistency message.
+  CoalesceAddressUpdates(&out);
   return out;
+}
+
+void DsmNode::SpillPiggybackOverflow(std::vector<AddressUpdate>* updates, NodeId dst) {
+  if (updates->size() <= kMaxPiggybackUpdates) {
+    return;
+  }
+  // The consistency reply stays bounded; the tail still reaches the requester
+  // off the critical path, as a background address-change notice.  Round 0 is
+  // never a live reclamation round, so the eventual ack is ignored.
+  auto spill = std::make_shared<AddressChangePayload>();
+  spill->round = 0;
+  spill->updates.assign(updates->begin() + kMaxPiggybackUpdates, updates->end());
+  updates->resize(kMaxPiggybackUpdates);
+  GlobalPerfCounters().piggyback_overflow_spills++;
+  network_->Send(id_, dst, std::move(spill));
 }
 
 void DsmNode::HandleMessage(const Message& msg) {
@@ -565,6 +579,7 @@ void DsmNode::FinishWriteGrant(Oid oid) {
   if (gc_hooks_ != nullptr) {
     gc_hooks_->PrepareOwnershipTransfer(oid, t.bunch, pg.requester, &grant->piggyback);
   }
+  SpillPiggybackOverflow(&grant->piggyback.updates, pg.requester);
   stats_.piggyback_updates_sent += grant->piggyback.updates.size();
   stats_.piggyback_ssp_requests_sent += grant->piggyback.intra_ssp_requests.size();
 
@@ -593,6 +608,7 @@ void DsmNode::SendReadGrant(Oid oid, NodeId requester, bool for_gc, Gaddr byte_a
   grant->granter_owner_hint = id_;
   FillObjectBytes(oid, grant.get(), byte_addr);
   grant->piggyback.updates = BuildInvariant1Updates(oid);
+  SpillPiggybackOverflow(&grant->piggyback.updates, requester);
   stats_.piggyback_updates_sent += grant->piggyback.updates.size();
   stats_.grants_sent++;
   network_->Send(id_, requester, std::move(grant));
@@ -615,12 +631,15 @@ void DsmNode::FillObjectBytes(Oid oid, GrantPayload* grant, Gaddr byte_addr) con
   BMX_CHECK(!header->forwarded());
   grant->addr = resolved;
   grant->header = *header;
-  grant->slots.resize(header->size_slots);
-  grant->slot_is_ref.resize(header->size_slots);
-  for (size_t i = 0; i < header->size_slots; ++i) {
-    grant->slots[i] = store_->ReadSlot(resolved, i);
-    grant->slot_is_ref[i] = store_->SlotIsRef(resolved, i) ? 1 : 0;
-  }
+  // One segment lookup for the whole object: bulk-copy the slots, then mark
+  // ref slots straight off the ref-map words.
+  const SegmentImage* image = store_->SegmentFor(resolved);
+  const uint64_t* src = const_cast<SegmentImage*>(image)->SlotPtr(resolved, 0);
+  grant->slots.assign(src, src + header->size_slots);
+  grant->slot_is_ref.assign(header->size_slots, 0);
+  image->ForEachRefSlotOf(resolved, header->size_slots, [&](size_t slot, uint64_t) {
+    grant->slot_is_ref[slot] = 1;
+  });
 }
 
 void DsmNode::HandleGrant(const Message& msg) {

@@ -89,18 +89,16 @@ void GcEngine::MarkFrom(Gaddr root, const std::set<BunchId>& group, std::set<Gad
       continue;
     }
     const ObjectHeader* header = store_->HeaderOf(addr);
-    for (size_t i = 0; i < header->size_slots; ++i) {
-      if (!store_->SlotIsRef(addr, i)) {
-        continue;
-      }
-      Gaddr value = store_->ReadSlot(addr, i);
+    // Word-level ref-map kernel: non-reference slots never touched, empty
+    // 64-slot runs skipped in one instruction.
+    store_->ForEachRefSlot(addr, header->size_slots, [&](size_t, uint64_t value) {
       if (value != kNullAddr) {
         // Scan through this node's own byte copies (possibly stale — §4.2's
         // conservative scanning); only targets with no local bytes at all
         // become dangling, address-based exiting entries.
         worklist.push_back(dsm_->LocalCopyOf(value));
       }
-    }
+    });
   }
 }
 
@@ -262,13 +260,9 @@ void GcEngine::UpdateLocalReferences(const std::vector<BunchId>& group, const Tr
         if (header.forwarded() || !live.Live(addr)) {
           return;
         }
-        for (size_t i = 0; i < header.size_slots; ++i) {
-          if (!store_->SlotIsRef(addr, i)) {
-            continue;
-          }
-          Gaddr value = store_->ReadSlot(addr, i);
+        image->ForEachRefSlotOf(addr, header.size_slots, [&](size_t slot, uint64_t value) {
           if (value == kNullAddr) {
-            continue;
+            return;
           }
           Gaddr resolved = dsm_->LocalCopyOf(value);
           if (resolved != value && store_->HasObjectAt(resolved)) {
@@ -276,10 +270,10 @@ void GcEngine::UpdateLocalReferences(const std::vector<BunchId>& group, const Tr
             // pointing a slot at a byte-less canonical address would sever
             // the local trace (the paper's page-mapped replicas can always
             // read what they point at).
-            store_->WriteSlot(addr, i, resolved);
+            store_->WriteSlot(addr, slot, resolved);
             stats_.refs_updated_locally++;
           }
-        }
+        });
       });
     }
   }

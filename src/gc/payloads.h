@@ -97,7 +97,7 @@ struct AddressChangePayload : public Payload {
   std::vector<AddressUpdate> updates;
   MsgKind kind() const override { return MsgKind::kAddressChange; }
   MsgCategory category() const override { return MsgCategory::kGcBackground; }
-  size_t WireSize() const override { return 8 + updates.size() * 28; }
+  size_t WireSize() const override { return 8 + updates.size() * kAddressUpdateWireBytes; }
 };
 
 struct AddressChangeAckPayload : public Payload {

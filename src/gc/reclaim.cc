@@ -318,13 +318,9 @@ void GcEngine::FinishReclaimIfDone(uint64_t round) {
       if (header.forwarded()) {
         return;
       }
-      for (size_t i = 0; i < header.size_slots; ++i) {
-        if (!store_->SlotIsRef(addr, i)) {
-          continue;
-        }
-        Gaddr value = store_->ReadSlot(addr, i);
+      image->ForEachRefSlotOf(addr, header.size_slots, [&](size_t slot, uint64_t value) {
         if (value == kNullAddr || freeing.count(SegmentOf(value)) == 0) {
-          continue;
+          return;
         }
         Gaddr resolved = dsm_->ResolveAddr(value);
         if (freeing.count(SegmentOf(resolved)) > 0) {
@@ -332,11 +328,11 @@ void GcEngine::FinishReclaimIfDone(uint64_t round) {
           // stale local copies (entry consistency permits them) whose target
           // died; the slot is unreachable data, so leave it.  Any future
           // acquire refreshes the containing object's bytes from its owner.
-          continue;
+          return;
         }
-        store_->WriteSlot(addr, i, resolved);
+        store_->WriteSlot(addr, slot, resolved);
         stats_.refs_updated_locally++;
-      }
+      });
     });
   }
   for (RootProvider* provider : root_providers_) {

@@ -7,88 +7,78 @@
 namespace bmx {
 
 BunchId SegmentDirectory::CreateBunch(NodeId creator) {
-  BunchId id = next_bunch_++;
+  BunchId id = static_cast<BunchId>(bunches_.size());
+  bunches_.emplace_back();
   bunches_[id].creator = creator;
   return id;
 }
 
 SegmentId SegmentDirectory::AllocateSegment(BunchId bunch, NodeId creator) {
-  auto it = bunches_.find(bunch);
-  BMX_CHECK(it != bunches_.end()) << "unknown bunch " << bunch;
-  SegmentId seg = next_segment_++;
-  segments_[seg] = SegmentInfo{bunch, creator};
-  it->second.segments.push_back(seg);
+  BMX_CHECK(BunchExists(bunch)) << "unknown bunch " << bunch;
+  SegmentId seg = static_cast<SegmentId>(segments_.size());
+  segments_.push_back(SegmentInfo{bunch, creator});
+  bunches_[bunch].segments.push_back(seg);
   return seg;
 }
 
-BunchId SegmentDirectory::BunchOfSegment(SegmentId seg) const {
-  auto it = segments_.find(seg);
-  BMX_CHECK(it != segments_.end()) << "unknown segment " << seg;
-  return it->second.bunch;
+const SegmentDirectory::SegmentInfo& SegmentDirectory::SegmentAt(SegmentId seg) const {
+  GlobalPerfCounters().directory_probes++;
+  BMX_CHECK(seg >= 1 && seg < segments_.size()) << "unknown segment " << seg;
+  return segments_[seg];
 }
 
-NodeId SegmentDirectory::SegmentCreator(SegmentId seg) const {
-  auto it = segments_.find(seg);
-  BMX_CHECK(it != segments_.end()) << "unknown segment " << seg;
-  return it->second.creator;
-}
+BunchId SegmentDirectory::BunchOfSegment(SegmentId seg) const { return SegmentAt(seg).bunch; }
+
+NodeId SegmentDirectory::SegmentCreator(SegmentId seg) const { return SegmentAt(seg).creator; }
 
 NodeId SegmentDirectory::BunchCreator(BunchId bunch) const {
-  auto it = bunches_.find(bunch);
-  BMX_CHECK(it != bunches_.end()) << "unknown bunch " << bunch;
-  return it->second.creator;
+  GlobalPerfCounters().directory_probes++;
+  BMX_CHECK(BunchExists(bunch)) << "unknown bunch " << bunch;
+  return bunches_[bunch].creator;
 }
 
 const std::vector<SegmentId>& SegmentDirectory::SegmentsOfBunch(BunchId bunch) const {
-  auto it = bunches_.find(bunch);
-  BMX_CHECK(it != bunches_.end()) << "unknown bunch " << bunch;
-  return it->second.segments;
+  GlobalPerfCounters().directory_probes++;
+  BMX_CHECK(BunchExists(bunch)) << "unknown bunch " << bunch;
+  return bunches_[bunch].segments;
 }
 
 void SegmentDirectory::RetireSegment(SegmentId seg) {
-  auto it = segments_.find(seg);
-  BMX_CHECK(it != segments_.end()) << "unknown segment " << seg;
-  auto& segs = bunches_.at(it->second.bunch).segments;
+  const SegmentInfo& info = SegmentAt(seg);
+  auto& segs = bunches_[info.bunch].segments;
   segs.erase(std::remove(segs.begin(), segs.end(), seg), segs.end());
-  it->second.retired = true;
+  segments_[seg].retired = true;
 }
 
-bool SegmentDirectory::IsRetired(SegmentId seg) const {
-  auto it = segments_.find(seg);
-  BMX_CHECK(it != segments_.end()) << "unknown segment " << seg;
-  return it->second.retired;
-}
+bool SegmentDirectory::IsRetired(SegmentId seg) const { return SegmentAt(seg).retired; }
 
 void SegmentDirectory::NoteMapped(BunchId bunch, NodeId node) {
-  auto it = bunches_.find(bunch);
-  BMX_CHECK(it != bunches_.end()) << "unknown bunch " << bunch;
-  it->second.mappers.insert(node);
+  BMX_CHECK(BunchExists(bunch)) << "unknown bunch " << bunch;
+  bunches_[bunch].mappers.insert(node);
 }
 
 void SegmentDirectory::NoteUnmapped(BunchId bunch, NodeId node) {
-  auto it = bunches_.find(bunch);
-  BMX_CHECK(it != bunches_.end()) << "unknown bunch " << bunch;
-  it->second.mappers.erase(node);
+  BMX_CHECK(BunchExists(bunch)) << "unknown bunch " << bunch;
+  bunches_[bunch].mappers.erase(node);
 }
 
 const std::set<NodeId>& SegmentDirectory::MappersOf(BunchId bunch) const {
-  auto it = bunches_.find(bunch);
-  BMX_CHECK(it != bunches_.end()) << "unknown bunch " << bunch;
-  return it->second.mappers;
+  GlobalPerfCounters().directory_probes++;
+  BMX_CHECK(BunchExists(bunch)) << "unknown bunch " << bunch;
+  return bunches_[bunch].mappers;
 }
 
 bool SegmentDirectory::IsMappedAt(BunchId bunch, NodeId node) const {
-  auto it = bunches_.find(bunch);
-  if (it == bunches_.end()) {
+  if (!BunchExists(bunch)) {
     return false;
   }
-  return it->second.mappers.count(node) > 0;
+  return bunches_[bunch].mappers.count(node) > 0;
 }
 
 std::vector<BunchId> SegmentDirectory::AllBunches() const {
   std::vector<BunchId> out;
-  out.reserve(bunches_.size());
-  for (const auto& [id, info] : bunches_) {
+  out.reserve(bunches_.size() - 1);
+  for (BunchId id = 1; id < bunches_.size(); ++id) {
     out.push_back(id);
   }
   return out;

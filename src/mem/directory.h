@@ -13,11 +13,11 @@
 #ifndef SRC_MEM_DIRECTORY_H_
 #define SRC_MEM_DIRECTORY_H_
 
-#include <iterator>
-#include <map>
 #include <set>
+#include <unordered_map>
 #include <vector>
 
+#include "src/common/perf_counters.h"
 #include "src/common/types.h"
 
 namespace bmx {
@@ -30,7 +30,7 @@ class SegmentDirectory {
   SegmentId AllocateSegment(BunchId bunch, NodeId creator);
   Oid NextOid() { return next_oid_++; }
 
-  bool BunchExists(BunchId bunch) const { return bunches_.count(bunch) > 0; }
+  bool BunchExists(BunchId bunch) const { return bunch >= 1 && bunch < bunches_.size(); }
   BunchId BunchOfSegment(SegmentId seg) const;
   NodeId SegmentCreator(SegmentId seg) const;
   NodeId BunchCreator(BunchId bunch) const;
@@ -52,6 +52,7 @@ class SegmentDirectory {
   // what the tests and benchmarks measure.
   void RecordOwner(Oid oid, NodeId owner) { owners_[oid] = owner; }
   NodeId OwnerOf(Oid oid) const {
+    GlobalPerfCounters().directory_probes++;
     auto it = owners_.find(oid);
     return it == owners_.end() ? kInvalidNode : it->second;
   }
@@ -64,21 +65,21 @@ class SegmentDirectory {
     oid_to_addr_[oid] = addr;
   }
   Oid OidAtAddress(Gaddr addr) const {
+    GlobalPerfCounters().directory_probes++;
     auto it = addr_to_oid_.find(addr);
     return it == addr_to_oid_.end() ? kNullOid : it->second;
   }
   Gaddr CanonicalAddressOf(Oid oid) const {
+    GlobalPerfCounters().directory_probes++;
     auto it = oid_to_addr_.find(oid);
     return it == oid_to_addr_.end() ? kNullAddr : it->second;
   }
   void ForgetObjectAddresses(Oid oid) {
     // Called when an object is reclaimed at its owner (globally dead).
-    auto it = oid_to_addr_.find(oid);
-    if (it != oid_to_addr_.end()) {
-      oid_to_addr_.erase(it);
-    }
+    // Value-erase over an unordered table: no caller observes the order.
+    oid_to_addr_.erase(oid);
     for (auto a = addr_to_oid_.begin(); a != addr_to_oid_.end();) {
-      a = a->second == oid ? addr_to_oid_.erase(a) : std::next(a);
+      a = a->second == oid ? addr_to_oid_.erase(a) : ++a;
     }
     owners_.erase(oid);
   }
@@ -102,15 +103,18 @@ class SegmentDirectory {
     bool retired = false;
   };
 
-  BunchId next_bunch_ = 1;
-  // Segment 0 is reserved so that global address 0 is never a valid slot.
-  SegmentId next_segment_ = 1;
+  const SegmentInfo& SegmentAt(SegmentId seg) const;
+
   Oid next_oid_ = 1;
-  std::map<BunchId, BunchInfo> bunches_;
-  std::map<SegmentId, SegmentInfo> segments_;
-  std::map<Oid, NodeId> owners_;
-  std::map<Gaddr, Oid> addr_to_oid_;
-  std::map<Oid, Gaddr> oid_to_addr_;
+  // Bunch/segment ids are issued densely starting at 1 (segment 0 reserved so
+  // global address 0 is never a valid slot), so the registries are flat
+  // vectors indexed by id — slot 0 of each is an unused sentinel.  Neither
+  // bunches nor segments are ever deleted (retirement is a tombstone flag).
+  std::vector<BunchInfo> bunches_{1};
+  std::vector<SegmentInfo> segments_{1};
+  std::unordered_map<Oid, NodeId> owners_;
+  std::unordered_map<Gaddr, Oid> addr_to_oid_;
+  std::unordered_map<Oid, Gaddr> oid_to_addr_;
 };
 
 }  // namespace bmx

@@ -1,5 +1,7 @@
 #include "src/mem/replica_store.h"
 
+#include <algorithm>
+
 #include "src/common/check.h"
 
 namespace bmx {
@@ -12,7 +14,12 @@ SegmentImage& ReplicaStore::GetOrCreate(SegmentId seg, BunchId bunch) {
   return *it->second;
 }
 
-void ReplicaStore::Drop(SegmentId seg) { segments_.erase(seg); }
+void ReplicaStore::Drop(SegmentId seg) {
+  if (mru_ != nullptr && mru_->id() == seg) {
+    mru_ = nullptr;  // never leave the MRU cache dangling
+  }
+  segments_.erase(seg);
+}
 
 ObjectHeader* ReplicaStore::HeaderOf(Gaddr obj_addr) {
   SegmentImage* image = SegmentFor(obj_addr);
@@ -94,6 +101,7 @@ void ReplicaStore::SetSlotIsRef(Gaddr obj_addr, size_t slot, bool is_ref) {
 }
 
 Gaddr ReplicaStore::AddrOfOid(Oid oid) const {
+  GlobalPerfCounters().oid_probes++;
   auto it = oid_addr_.find(oid);
   return it == oid_addr_.end() ? kNullAddr : it->second;
 }
@@ -109,6 +117,9 @@ std::vector<SegmentId> ReplicaStore::SegmentsOfBunch(BunchId bunch) const {
       out.push_back(id);
     }
   }
+  // The backing table is unordered; callers (GC scans, persistence) depend on
+  // ascending segment order for determinism.
+  std::sort(out.begin(), out.end());
   return out;
 }
 
@@ -118,6 +129,7 @@ std::vector<SegmentId> ReplicaStore::AllSegments() const {
   for (const auto& [id, image] : segments_) {
     out.push_back(id);
   }
+  std::sort(out.begin(), out.end());
   return out;
 }
 
@@ -130,16 +142,16 @@ void ReplicaStore::CopyObjectBytes(Gaddr from_addr, Gaddr to_addr) {
   copy.flags &= ~kObjFlagForwarded;
   copy.forward = kNullAddr;
   dst->InstallObject(to_addr, copy, src->SlotPtr(from_addr, 0));
-  // Reference-map bits travel with the object.
+  // Reference-map bits travel with the object: clear the destination range,
+  // then set only the bits the source ref-map has (word-level scan).
   size_t src_first = src->SlotIndexOf(from_addr);
   size_t dst_first = dst->SlotIndexOf(to_addr);
   for (size_t i = 0; i < copy.size_slots; ++i) {
-    if (src->ref_map().Test(src_first + i)) {
-      dst->ref_map().Set(dst_first + i);
-    } else {
-      dst->ref_map().Clear(dst_first + i);
-    }
+    dst->ref_map().Clear(dst_first + i);
   }
+  src->ref_map().ForEachSetInRange(src_first, src_first + copy.size_slots, [&](size_t bit) {
+    dst->ref_map().Set(dst_first + (bit - src_first));
+  });
 }
 
 }  // namespace bmx

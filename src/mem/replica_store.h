@@ -6,14 +6,21 @@
 // header until every reference is updated.  ResolveForward() implements the
 // local half of that contract; the oid→address table is this node's lazily
 // updated knowledge of new locations (fed by piggybacked address updates).
+//
+// Hot-path layout: both tables are open-addressing hash maps (protocol
+// behaviour never depends on their iteration order — SegmentsOfBunch /
+// AllSegments sort their output), and SegmentFor carries a one-entry MRU
+// cache because slot-granular callers (ReadSlot/WriteSlot/SlotIsRef) probe
+// the same segment dozens of times in a row.
 
 #ifndef SRC_MEM_REPLICA_STORE_H_
 #define SRC_MEM_REPLICA_STORE_H_
 
-#include <map>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
+#include "src/common/perf_counters.h"
 #include "src/common/types.h"
 #include "src/mem/object.h"
 #include "src/mem/segment.h"
@@ -25,12 +32,20 @@ class ReplicaStore {
   bool HasSegment(SegmentId seg) const { return segments_.count(seg) > 0; }
 
   SegmentImage* Find(SegmentId seg) {
+    GlobalPerfCounters().segment_probes++;
+    if (mru_ != nullptr && mru_->id() == seg) {
+      GlobalPerfCounters().segment_mru_hits++;
+      return mru_;
+    }
     auto it = segments_.find(seg);
-    return it == segments_.end() ? nullptr : it->second.get();
+    if (it == segments_.end()) {
+      return nullptr;
+    }
+    mru_ = it->second.get();
+    return mru_;
   }
   const SegmentImage* Find(SegmentId seg) const {
-    auto it = segments_.find(seg);
-    return it == segments_.end() ? nullptr : it->second.get();
+    return const_cast<ReplicaStore*>(this)->Find(seg);
   }
 
   SegmentImage& GetOrCreate(SegmentId seg, BunchId bunch);
@@ -58,9 +73,18 @@ class ReplicaStore {
   bool SlotIsRef(Gaddr obj_addr, size_t slot) const;
   void SetSlotIsRef(Gaddr obj_addr, size_t slot, bool is_ref);
 
+  // Scan kernel: one segment lookup for the whole object, then a word-level
+  // ref-map walk.  Replaces per-slot SlotIsRef+ReadSlot loops on the GC and
+  // grant-fill hot paths.  Visitor signature: void(size_t slot, uint64_t value).
+  template <typename Fn>
+  void ForEachRefSlot(Gaddr obj_addr, uint32_t size_slots, Fn&& fn) const {
+    const SegmentImage* image = SegmentFor(obj_addr);
+    BMX_CHECK(image != nullptr) << "segment unmapped for addr " << obj_addr;
+    image->ForEachRefSlotOf(obj_addr, size_slots, static_cast<Fn&&>(fn));
+  }
+
   // This node's current address for an object id; kNullAddr when unknown.
   Gaddr AddrOfOid(Oid oid) const;
-  const std::map<Oid, Gaddr>& oid_addresses() const { return oid_addr_; }
   void SetAddrOfOid(Oid oid, Gaddr addr);
   void ForgetOid(Oid oid);
 
@@ -72,8 +96,9 @@ class ReplicaStore {
   void CopyObjectBytes(Gaddr from_addr, Gaddr to_addr);
 
  private:
-  std::map<SegmentId, std::unique_ptr<SegmentImage>> segments_;
-  std::map<Oid, Gaddr> oid_addr_;
+  std::unordered_map<SegmentId, std::unique_ptr<SegmentImage>> segments_;
+  std::unordered_map<Oid, Gaddr> oid_addr_;
+  mutable SegmentImage* mru_ = nullptr;  // last segment Find() returned
 };
 
 }  // namespace bmx

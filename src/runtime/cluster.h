@@ -7,6 +7,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/common/perf_counters.h"
 #include "src/common/types.h"
 #include "src/mem/directory.h"
 #include "src/net/network.h"
@@ -31,6 +32,10 @@ class Cluster {
   Network& network() { return network_; }
   SegmentDirectory& directory() { return directory_; }
   Disk& disk() { return disk_; }
+  // Hot-path counters (scan kernels, lookup tables, piggyback coalescing).
+  // Process-global — the single-threaded simulation has exactly one cluster
+  // active per measurement; benches reset them per run and print them.
+  PerfCounters& perf() { return GlobalPerfCounters(); }
 
   BunchId CreateBunch(NodeId creator);
 
