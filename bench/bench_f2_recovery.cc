@@ -1,0 +1,140 @@
+// F2 — cost of crash recovery: wall-clock of a RecoveryManager run and the
+// wire bytes its reconciliation traffic costs, as a function of (a) how many
+// checkpointed segments the restarted node must reload and re-adopt, and
+// (b) where in the protocol the node crashed.  The timed region is exactly
+// RunRecovery() on the restarted node: log replay, manifest reload, object
+// re-adoption, SSP rebuild and peer reconciliation, through quiescence.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/fault_injector.h"
+
+namespace bmx {
+namespace {
+
+// Objects sized so a handful fill a segment: segment count scales with the
+// allocation count without millions of tiny headers dominating setup time.
+constexpr uint32_t kBigObjectSlots = 2048;
+
+void F2_RecoveryBySegmentCount(benchmark::State& state) {
+  size_t target_segments = static_cast<size_t>(state.range(0));
+  size_t objects = target_segments * (kSlotsPerSegment / kBigObjectSlots);
+  uint64_t query_bytes = 0;
+  size_t segments = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Cluster cluster({.num_nodes = 3});
+    BunchId bunch = cluster.CreateBunch(0);
+    Mutator m0(&cluster.node(0));
+    Mutator m1(&cluster.node(1));
+    Gaddr first = kNullAddr;
+    for (size_t i = 0; i < objects; ++i) {
+      Gaddr obj = m0.Alloc(bunch, kBigObjectSlots);
+      if (first == kNullAddr) {
+        first = obj;
+      }
+      m0.AddRoot(obj);
+    }
+    // A remote reader gives recovery a peer with state worth reconciling.
+    m1.AcquireRead(first);
+    m1.Release(first);
+    cluster.node(0).CheckpointBunch(bunch);
+    cluster.Pump();
+    segments = cluster.node(0).store().AllSegments().size();
+    cluster.CrashNode(0);
+    Node& fresh = cluster.RestartNode(0);
+    uint64_t before = GlobalPerfCounters().recovery_query_bytes;
+    state.ResumeTiming();
+
+    fresh.recovery().RunRecovery();
+
+    state.PauseTiming();
+    query_bytes += GlobalPerfCounters().recovery_query_bytes - before;
+    state.ResumeTiming();
+  }
+  state.counters["segments"] = static_cast<double>(segments);
+  state.counters["query_bytes"] =
+      static_cast<double>(query_bytes) / static_cast<double>(state.iterations());
+}
+BENCHMARK(F2_RecoveryBySegmentCount)->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
+
+// Crash points swept by the by-crash-point variant.  All of them fire at
+// node 0 in the workload below; each leaves recovery a differently-shaped
+// mess (uncheckpointed allocations, a half-granted token, a mid-flip BGC, a
+// torn checkpoint, a half-truncated log).
+const char* const kCrashPoints[] = {
+    "gc.alloc.post_register",     "dsm.grant.pre_send",      "bgc.flip.pre_publish",
+    "persist.checkpoint.pre_commit", "rvm.truncate.pre_reset",
+};
+
+void F2_RecoveryByCrashPoint(benchmark::State& state) {
+  const char* site = kCrashPoints[state.range(0)];
+  uint64_t query_bytes = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    FaultInjector::Global().Reset();
+    FaultInjector::Global().Arm(site, 0);
+    Cluster cluster({.num_nodes = 3});
+    try {
+      BunchId bunch = cluster.CreateBunch(0);
+      Mutator m0(&cluster.node(0));
+      Mutator m1(&cluster.node(1));
+      Gaddr head = kNullAddr;
+      for (size_t i = 0; i < 32; ++i) {
+        Gaddr obj = m0.Alloc(bunch, 2);
+        m0.WriteRef(obj, 0, head);
+        m0.WriteWord(obj, 1, i);
+        head = obj;
+      }
+      m0.AddRoot(head);
+      cluster.node(0).CheckpointBunch(bunch);
+      for (Gaddr cur = head; cur != kNullAddr;) {
+        if (!m1.AcquireRead(cur)) {
+          break;
+        }
+        Gaddr next = m1.ReadRef(cur, 0);
+        m1.Release(cur);
+        cur = next;
+      }
+      cluster.node(0).gc().CollectBunch(bunch);
+      cluster.node(0).CheckpointBunch(bunch);
+      cluster.node(0).persistence().TruncateLog();
+      cluster.Pump();
+    } catch (const NodeCrashSignal& signal) {
+      if (cluster.IsAlive(signal.node)) {
+        cluster.CrashNode(signal.node);
+      }
+    }
+    cluster.Pump();
+    FaultInjector::Global().Reset();
+    std::vector<NodeId> dead;
+    for (NodeId id = 0; id < 3; ++id) {
+      if (!cluster.IsAlive(id)) {
+        dead.push_back(id);
+      }
+    }
+    uint64_t before = GlobalPerfCounters().recovery_query_bytes;
+    state.ResumeTiming();
+
+    for (NodeId id : dead) {
+      cluster.RestartNode(id).recovery().RunRecovery();
+    }
+
+    state.PauseTiming();
+    query_bytes += GlobalPerfCounters().recovery_query_bytes - before;
+    state.ResumeTiming();
+  }
+  state.SetLabel(site);
+  state.counters["query_bytes"] =
+      static_cast<double>(query_bytes) / static_cast<double>(state.iterations());
+}
+BENCHMARK(F2_RecoveryByCrashPoint)->DenseRange(0, 4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bmx
+
+BMX_BENCHMARK_MAIN();

@@ -81,7 +81,9 @@ inline void PrintPerfCounters() {
       "[perf] segment_probes=%llu segment_mru_hits=%llu oid_probes=%llu "
       "directory_probes=%llu token_probes=%llu\n"
       "[perf] piggyback_updates_coalesced=%llu piggyback_bytes_saved=%llu "
-      "piggyback_overflow_spills=%llu\n",
+      "piggyback_overflow_spills=%llu\n"
+      "[perf] recoveries=%llu epoch_rejected_msgs=%llu fault_points_hit=%llu "
+      "recovery_query_bytes=%llu\n",
       static_cast<unsigned long long>(p.slots_scanned),
       static_cast<unsigned long long>(p.words_skipped),
       static_cast<unsigned long long>(p.objects_walked),
@@ -93,7 +95,11 @@ inline void PrintPerfCounters() {
       static_cast<unsigned long long>(p.token_probes),
       static_cast<unsigned long long>(p.piggyback_updates_coalesced),
       static_cast<unsigned long long>(p.piggyback_bytes_saved),
-      static_cast<unsigned long long>(p.piggyback_overflow_spills));
+      static_cast<unsigned long long>(p.piggyback_overflow_spills),
+      static_cast<unsigned long long>(p.recoveries),
+      static_cast<unsigned long long>(p.epoch_rejected_msgs),
+      static_cast<unsigned long long>(p.fault_points_hit),
+      static_cast<unsigned long long>(p.recovery_query_bytes));
 }
 
 // Bench entry point shared by every binary.  Extends google-benchmark's CLI

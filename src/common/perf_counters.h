@@ -35,6 +35,12 @@ struct PerfCounters {
   uint64_t piggyback_bytes_saved = 0;        // wire bytes those entries cost
   uint64_t piggyback_overflow_spills = 0;    // caps hit: tail sent in background
 
+  // Crash recovery and fault injection.
+  uint64_t recoveries = 0;            // RecoveryManager runs completed
+  uint64_t epoch_rejected_msgs = 0;   // messages dropped as stale-incarnation
+  uint64_t fault_points_hit = 0;      // FAULT_POINT sites executed
+  uint64_t recovery_query_bytes = 0;  // wire bytes of recovery query/reply traffic
+
   void Reset() { *this = PerfCounters{}; }
 };
 

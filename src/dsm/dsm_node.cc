@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/check.h"
+#include "src/common/fault_injector.h"
 #include "src/gc/payloads.h"
 
 namespace bmx {
@@ -184,7 +185,42 @@ void DsmNode::BeginAcquire(Gaddr addr, bool write, bool for_gc) {
   req->write = write;
   req->requester = id_;
   req->for_gc = for_gc;
+  wait_target_ = target;
+  FAULT_POINT("dsm.acquire.pre_send", id_);
   network_->Send(id_, target, std::move(req));
+}
+
+bool DsmNode::CompleteAcquire(Gaddr addr, bool write, bool for_gc) {
+  constexpr int kMaxAttempts = 3;
+  for (int attempt = 0;; ++attempt) {
+    BeginAcquire(addr, write, for_gc);
+    if (!wait_active_) {
+      return wait_complete_;  // completed locally, or unroutable
+    }
+    network_->RunUntilIdle();
+    if (!wait_active_) {
+      return wait_complete_;
+    }
+    // The network quiesced with the acquire still open.  If the first hop is
+    // alive, the request was delivered and deferred there (a remote holder is
+    // inside a critical section): keep the wait pending — it completes on a
+    // later pump, the pre-crash contract.  If the first hop crashed, the
+    // request is parked toward a dead node: the virtual-clock deadline has
+    // effectively expired, so withdraw it and retry along a fresh route (the
+    // directory may name a recovered or different owner by now).
+    if (network_->NodeAttached(wait_target_)) {
+      return false;
+    }
+    stats_.acquire_timeouts++;
+    network_->DropParked(id_, wait_target_, MsgKind::kAcquireRequest);
+    wait_active_ = false;
+    wait_complete_ = false;
+    wait_addr_ = kNullAddr;
+    wait_target_ = kInvalidNode;
+    if (attempt + 1 >= kMaxAttempts) {
+      return false;  // fail cleanly: every route leads to a dead node
+    }
+  }
 }
 
 bool DsmNode::AcquireRead(Gaddr addr, bool for_gc) {
@@ -206,9 +242,7 @@ bool DsmNode::AcquireRead(Gaddr addr, bool for_gc) {
     }
   }
   stats_.remote_acquires++;
-  BeginAcquire(resolved, /*write=*/false, for_gc);
-  network_->RunUntilIdle();
-  return wait_complete_;
+  return CompleteAcquire(resolved, /*write=*/false, for_gc);
 }
 
 bool DsmNode::AcquireWrite(Gaddr addr, bool for_gc) {
@@ -241,9 +275,7 @@ bool DsmNode::AcquireWrite(Gaddr addr, bool for_gc) {
         << "release the read token before acquiring for write (node " << id_ << ")";
   }
   stats_.remote_acquires++;
-  BeginAcquire(resolved, /*write=*/true, for_gc);
-  network_->RunUntilIdle();
-  return wait_complete_;
+  return CompleteAcquire(resolved, /*write=*/true, for_gc);
 }
 
 void DsmNode::Release(Gaddr addr) {
@@ -264,6 +296,68 @@ void DsmNode::RegisterNewObject(Oid oid, Gaddr addr, BunchId bunch) {
   t.held = false;
   t.bunch = bunch;
   store_->SetAddrOfOid(oid, addr);
+}
+
+void DsmNode::AdoptRecoveredObject(Oid oid, Gaddr addr, BunchId bunch, bool owned,
+                                   NodeId owner_hint) {
+  TokenInfo& t = InfoOf(oid);
+  t.bunch = bunch;
+  t.held = false;
+  if (owned) {
+    // Ownership-of-record survives the crash; tokens do not.  Reclaiming the
+    // write token is safe because any read copies granted by the previous
+    // life are reconciled into the copy-set before mutators run again.
+    directory_->RecordOwner(oid, id_);
+    directory_->RecordObjectAddress(oid, addr);
+    t.state = TokenState::kWrite;
+    t.owner = true;
+    t.owner_hint = kInvalidNode;
+  } else {
+    // Recovered bytes of a remotely owned object: keep them as a stale
+    // replica (entry consistency permits reading them only under a token,
+    // which the next acquire fetches fresh).
+    t.state = TokenState::kNone;
+    t.owner = false;
+    t.owner_hint = owner_hint;
+  }
+  store_->SetAddrOfOid(oid, addr);
+}
+
+void DsmNode::RestoreReaderReplica(Oid oid, NodeId reader, bool reader_has_token) {
+  if (reader == id_) {
+    return;
+  }
+  auto it = tokens_.find(oid);
+  if (it == tokens_.end() || !it->second.owner) {
+    return;  // contested away, or the peer's view is stale — nothing to track
+  }
+  TokenInfo& t = it->second;
+  entering_[t.bunch][oid].insert(reader);
+  if (reader_has_token) {
+    t.copyset.insert(reader);
+    if (t.state == TokenState::kWrite) {
+      t.state = TokenState::kRead;  // readers exist again: no exclusivity
+    }
+  }
+}
+
+std::vector<TokenSnapshot> DsmNode::SnapshotTokens() const {
+  std::vector<TokenSnapshot> out;
+  out.reserve(tokens_.size());
+  for (const auto& [oid, t] : tokens_) {
+    TokenSnapshot snap;
+    snap.oid = oid;
+    snap.state = t.state;
+    snap.owner = t.owner;
+    snap.held = t.held;
+    snap.owner_hint = t.owner_hint;
+    snap.bunch = t.bunch;
+    snap.copyset.assign(t.copyset.begin(), t.copyset.end());
+    out.push_back(std::move(snap));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TokenSnapshot& a, const TokenSnapshot& b) { return a.oid < b.oid; });
+  return out;
 }
 
 void DsmNode::RecordLocalMove(Oid oid, Gaddr old_addr, Gaddr new_addr, BunchId bunch) {
@@ -535,6 +629,9 @@ void DsmNode::TryFinishInvalidation(Oid oid) {
     }
     auto ack = std::make_shared<InvalidateAckPayload>();
     ack->oid = oid;
+    // Crash here and the owner waits on an ack from a dead reader; the ack
+    // arrives from this node's next incarnation (stray-ack tolerant path).
+    FAULT_POINT("dsm.invalidate.pre_ack", id_);
     network_->Send(id_, parent, std::move(ack));
     return;
   }
@@ -588,6 +685,10 @@ void DsmNode::FinishWriteGrant(Oid oid) {
   t.owner_hint = pg.requester;
   NodeId requester = pg.requester;
   stats_.grants_sent++;
+  // Crash here and the token is in limbo: the owner-of-record (directory)
+  // still names this node, so recovery re-takes ownership from the
+  // checkpoint and the requester's retry finds it.
+  FAULT_POINT("dsm.grant.pre_send", id_);
   network_->Send(id_, requester, std::move(grant));
   Redispatch(oid);
 }
@@ -676,6 +777,9 @@ void DsmNode::HandleGrant(const Message& msg) {
     t.owner_hint = grant.granter_owner_hint;
     t.held = true;
   }
+  // Crash here and the requester dies as the owner-of-record of an object
+  // whose bytes it never checkpointed; peers' recovery replies resupply them.
+  FAULT_POINT("dsm.grant.post_install", id_);
   ApplyAddressUpdates(grant.piggyback.updates, msg.src);
   if (gc_hooks_ != nullptr) {
     for (const IntraSspRequest& request : grant.piggyback.intra_ssp_requests) {
@@ -757,6 +861,7 @@ void DsmNode::HandleInvalidateAck(const Message& msg) {
 
 void DsmNode::HandlePush(const Message& msg) {
   const auto& push = static_cast<const ObjectPushPayload&>(*msg.payload);
+  FAULT_POINT("dsm.push.pre_apply", id_);
   if (push.has_object) {
     InstallObjectBytes(push.oid, push.bunch, push.addr, push.header, push.slots,
                        push.slot_is_ref);

@@ -8,6 +8,7 @@
 #include <algorithm>
 
 #include "src/common/check.h"
+#include "src/common/fault_injector.h"
 #include "src/gc/gc_engine.h"
 
 namespace bmx {
@@ -44,6 +45,7 @@ void GcEngine::Collect(const std::vector<BunchId>& group, bool exclude_intra_gro
     // next local collection, refreshing the scion roots first.
     ProcessDeferredTables();
   }
+  FAULT_POINT("bgc.collect.pre_trace", id_);
   TraceResult live = Trace(group, exclude_intra_group_scions);
   std::vector<AddressUpdate> moves;
   for (BunchId bunch : group) {
@@ -56,9 +58,14 @@ void GcEngine::Collect(const std::vector<BunchId>& group, bool exclude_intra_gro
   for (BunchId bunch : group) {
     RebuildTables(bunch, live);
   }
+  // Crash here and the heap is flipped (objects moved, stubs rebuilt) but no
+  // peer has heard: their scions and entering entries go stale-conservative
+  // until this node's next life re-announces its tables.
+  FAULT_POINT("bgc.flip.pre_publish", id_);
   for (BunchId bunch : group) {
     SendReachabilityTables(bunch);
   }
+  FAULT_POINT("bgc.tables.post_send", id_);
 }
 
 void GcEngine::MarkFrom(Gaddr root, const std::set<BunchId>& group, std::set<Gaddr>* marked,

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/check.h"
+#include "src/common/fault_injector.h"
 
 namespace bmx {
 
@@ -67,6 +68,9 @@ Gaddr GcEngine::Allocate(BunchId bunch, uint32_t size_slots) {
     BMX_CHECK_NE(addr, kNullAddr) << "object larger than a segment";
   }
   dsm_->RegisterNewObject(oid, addr, bunch);
+  // Crash here and the directory names a dead node as owner of an object
+  // that was never checkpointed; recovery must drop the vacuous ownership.
+  FAULT_POINT("gc.alloc.post_register", id_);
   return addr;
 }
 
@@ -194,6 +198,9 @@ void GcEngine::InstallInterStub(Oid src_oid, uint32_t slot, BunchId src_bunch, G
     msg->stub_id = stub.id;
     msg->target_addr = target_addr;
     msg->target_bunch = target_bunch;
+    // Crash here and the stub exists in no checkpoint while the scion was
+    // never requested — the reference is rebuilt from the recovered heap.
+    FAULT_POINT("gc.scion.pre_send", id_);
     network_->Send(id_, dest, std::move(msg));
     stats_.scion_messages_sent++;
   }
@@ -409,6 +416,106 @@ std::vector<Gaddr> GcEngine::LiveObjects(BunchId bunch) {
   std::vector<Gaddr> out(live.strong.begin(), live.strong.end());
   out.insert(out.end(), live.weak_only.begin(), live.weak_only.end());
   return out;
+}
+
+void GcEngine::NoteRecoveringPeer(NodeId peer) {
+  recovering_peers_.insert(peer);
+  // The restarted node's table_version counters begin again at 1; without
+  // this reset every table from its new life would be rejected as stale and
+  // its scions (and our entering entries from it) could never be cleaned.
+  for (auto it = table_version_seen_.begin(); it != table_version_seen_.end();) {
+    it = it->first.first == peer ? table_version_seen_.erase(it) : ++it;
+  }
+}
+
+void GcEngine::ClearRecoveringPeer(NodeId peer) { recovering_peers_.erase(peer); }
+
+void GcEngine::RebuildSspsFromHeap(BunchId bunch) {
+  // The stub table of the previous life is gone (stubs are volatile); the
+  // recovered heap is the ground truth for which cross-bunch references this
+  // node is responsible for keeping alive.
+  for (SegmentId seg : store_->SegmentsOfBunch(bunch)) {
+    SegmentImage* image = store_->Find(seg);
+    if (image == nullptr) {
+      continue;
+    }
+    image->ForEachObject([&](Gaddr addr, ObjectHeader& header) {
+      if (header.forwarded()) {
+        return;
+      }
+      store_->ForEachRefSlot(addr, header.size_slots, [&](size_t slot, uint64_t target) {
+        if (target == kNullAddr) {
+          return;
+        }
+        Gaddr resolved = dsm_->ResolveAddr(target);
+        BunchId target_bunch = directory_->BunchOfSegment(SegmentOf(resolved));
+        if (target_bunch == bunch || target_bunch == kInvalidBunch) {
+          return;
+        }
+        if (!store_->HasObjectAt(resolved) &&
+            directory_->SegmentCreator(SegmentOf(resolved)) == id_) {
+          // The reference survived in the checkpoint but its target did not:
+          // we are the creator-of-record and hold no bytes, so there is no
+          // node a scion-message could protect it at.  The reference is
+          // dangling; leave it to fail at the next acquire.
+          return;
+        }
+        CreateInterSsp(addr, slot, resolved);
+      });
+    });
+  }
+}
+
+void GcEngine::RestoreInterScion(NodeId src_node, uint64_t stub_id, BunchId src_bunch,
+                                 Gaddr target_addr, BunchId target_bunch) {
+  RegisterBunchReplica(target_bunch);
+  BunchState& state = StateOf(target_bunch);
+  for (const InterScion& scion : state.inter_scions) {
+    if (scion.stub_id == stub_id && scion.src_node == src_node) {
+      return;
+    }
+  }
+  InterScion scion;
+  scion.stub_id = stub_id;
+  scion.src_node = src_node;
+  scion.src_bunch = src_bunch;
+  scion.target_addr = dsm_->ResolveAddr(target_addr);
+  state.inter_scions.push_back(scion);
+  stats_.inter_scions_created++;
+}
+
+void GcEngine::RestoreIntraScion(Oid oid, BunchId bunch, NodeId stub_node) {
+  RegisterBunchReplica(bunch);
+  BunchState& state = StateOf(bunch);
+  for (const IntraScion& scion : state.intra_scions) {
+    if (scion.oid == oid && scion.stub_node == stub_node) {
+      return;
+    }
+  }
+  IntraScion scion;
+  scion.oid = oid;
+  scion.bunch = bunch;
+  scion.stub_node = stub_node;
+  state.intra_scions.push_back(scion);
+  stats_.intra_scions_created++;
+}
+
+void GcEngine::RestoreIntraStub(Oid oid, BunchId bunch, NodeId scion_node) {
+  RegisterBunchReplica(bunch);
+  IntraSspRequest request;
+  request.oid = oid;
+  request.bunch = bunch;
+  request.scion_node = scion_node;
+  CreateIntraStub(request);  // dedupes internally
+}
+
+std::vector<BunchId> GcEngine::ReplicaBunches() const {
+  std::vector<BunchId> out;
+  out.reserve(bunches_.size());
+  for (const auto& [bunch, state] : bunches_) {
+    out.push_back(bunch);
+  }
+  return out;  // bunches_ is an ordered map: already sorted
 }
 
 size_t GcEngine::LiveBytesOf(BunchId bunch) {

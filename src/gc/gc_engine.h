@@ -125,6 +125,29 @@ class GcEngine : public DsmGcHooks, public MessageHandler {
   // --- Scion cleaner (§6) ---
   void ProcessDeferredTables();
 
+  // --- Crash recovery (RecoveryManager and its peers) ---
+  // Peer side: `peer` restarted and is reconciling.  Its table-version
+  // counters restart at 1, so the staleness filter for it is reset; until
+  // ClearRecoveringPeer, tables claiming to come from it are applied
+  // additively only (no scion/entering deletions — conservative retention
+  // while the owner bunch is mid-recovery).
+  void NoteRecoveringPeer(NodeId peer);
+  void ClearRecoveringPeer(NodeId peer);
+  bool IsRecoveringPeer(NodeId peer) const { return recovering_peers_.count(peer) > 0; }
+  // Recovering side: rebuilds the inter-bunch SSPs of `bunch` from the
+  // recovered heap (fresh stub ids; scions recreated locally or by
+  // scion-message).  The previous life's scions at peers become conservative
+  // slack until the first post-recovery reachability table retires them.
+  void RebuildSspsFromHeap(BunchId bunch);
+  // Recovering side: re-adopt SSP endpoints that peers report still holding
+  // the matching half (all idempotent).
+  void RestoreInterScion(NodeId src_node, uint64_t stub_id, BunchId src_bunch, Gaddr target_addr,
+                         BunchId target_bunch);
+  void RestoreIntraScion(Oid oid, BunchId bunch, NodeId stub_node);
+  void RestoreIntraStub(Oid oid, BunchId bunch, NodeId scion_node);
+  // Bunches this node holds a replica of (sorted; recovery query content).
+  std::vector<BunchId> ReplicaBunches() const;
+
   // --- DsmGcHooks ---
   void PrepareOwnershipTransfer(Oid oid, BunchId bunch, NodeId new_owner,
                                 Piggyback* piggyback) override;
@@ -267,6 +290,9 @@ class GcEngine : public DsmGcHooks, public MessageHandler {
   // FIFO/staleness filter for incoming reachability tables, per (src, bunch).
   std::map<std::pair<NodeId, BunchId>, uint64_t> table_version_seen_;
   std::vector<ReachabilityTablePayload> deferred_tables_;
+  // Peers mid-recovery: their tables are applied additively (no deletions)
+  // until the peer's RecoveryManager signals completion.
+  std::set<NodeId> recovering_peers_;
 
   uint64_t next_reclaim_round_ = 1;
   std::map<uint64_t, PendingReclaim> pending_reclaims_;

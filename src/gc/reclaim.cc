@@ -12,6 +12,7 @@
 #include <set>
 
 #include "src/common/check.h"
+#include "src/common/fault_injector.h"
 #include "src/gc/gc_engine.h"
 
 namespace bmx {
@@ -45,6 +46,9 @@ void GcEngine::ReclaimFromSpaces(BunchId bunch) {
   pending.bunch = bunch;
   pending.segments = state.from_spaces;
   stats_.reclaim_rounds++;
+  // Crash here and the round dies with the node; the from-spaces simply wait
+  // for the next life's reclamation pass.
+  FAULT_POINT("reclaim.round.pre_notices", id_);
 
   std::map<NodeId, std::vector<AddressUpdate>> notices;
   auto notify_interested = [&](const AddressUpdate& update) {
@@ -190,6 +194,10 @@ void GcEngine::HandleCopyRequest(const Message& msg) {
     current = new_addr;
   }
 
+  // Crash here and the requester's round never completes on its own; its
+  // acquire-side timeout machinery does not apply, but the parked request is
+  // redelivered to this node's next incarnation, which answers it then.
+  FAULT_POINT("reclaim.copy.pre_reply", id_);
   auto reply = std::make_shared<CopyReplyPayload>();
   reply->round = request.round;
   reply->oid = request.oid;
@@ -353,6 +361,11 @@ void GcEngine::FinishReclaimIfDone(uint64_t round) {
   }
   state.from_spaces = std::move(remaining);
 
+  // Crash between deciding to free and dropping the segments: the next life
+  // re-checkpoints whatever the manifest still names, so a half-freed
+  // from-space either comes back whole or was already retired in the
+  // directory — never a torn mixture.
+  FAULT_POINT("reclaim.finish.pre_free", id_);
   for (SegmentId seg : freeing) {
     store_->Drop(seg);
     if (directory_->SegmentCreator(seg) == id_ && !directory_->IsRetired(seg)) {

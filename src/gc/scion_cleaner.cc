@@ -8,6 +8,7 @@
 #include <set>
 
 #include "src/common/check.h"
+#include "src/common/fault_injector.h"
 #include "src/gc/gc_engine.h"
 
 namespace bmx {
@@ -33,13 +34,17 @@ void GcEngine::ProcessDeferredTables() {
 }
 
 void GcEngine::ApplyReachabilityTable(const ReachabilityTablePayload& table) {
+  FAULT_POINT("cleaner.table.pre_apply", id_);
   auto key = std::make_pair(table.src_node, table.bunch);
   auto seen = table_version_seen_.find(key);
   if (seen != table_version_seen_.end() && table.version <= seen->second) {
     stats_.tables_ignored_stale++;
     return;
   }
-  table_version_seen_[key] = table.version;
+  bool src_recovering = recovering_peers_.count(table.src_node) > 0;
+  if (!src_recovering) {
+    table_version_seen_[key] = table.version;
+  }
   stats_.tables_processed++;
 
   std::set<uint64_t> stub_ids(table.inter_stub_ids.begin(), table.inter_stub_ids.end());
@@ -61,6 +66,19 @@ void GcEngine::ApplyReachabilityTable(const ReachabilityTablePayload& table) {
     if (oid != kNullOid) {
       exiting.insert(oid);
     }
+  }
+
+  // Conservative retention while the sender's bunch is mid-recovery: its new
+  // life may still be rebuilding stubs from the recovered heap, so a table
+  // from it must not delete anything yet.  Additions (entering registration)
+  // are still safe — and necessary, or the owner could miss fresh interest.
+  if (src_recovering) {
+    for (Oid oid : exiting) {
+      if (dsm_->IsLocallyOwned(oid)) {
+        dsm_->AddEntering(table.bunch, oid, table.src_node);
+      }
+    }
+    return;
   }
 
   // Inter-bunch scions matching stubs of (src_node, bunch) may live in any

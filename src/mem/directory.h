@@ -13,6 +13,7 @@
 #ifndef SRC_MEM_DIRECTORY_H_
 #define SRC_MEM_DIRECTORY_H_
 
+#include <algorithm>
 #include <set>
 #include <unordered_map>
 #include <vector>
@@ -57,6 +58,20 @@ class SegmentDirectory {
     return it == owners_.end() ? kInvalidNode : it->second;
   }
   void ForgetOwner(Oid oid) { owners_.erase(oid); }
+  // Sorted list of every oid whose owner of record is `node`.  Recovery uses
+  // it to enumerate a restarted node's ownership claims and forget vacuous
+  // ones (owned on paper, bytes nowhere — e.g. an allocation that never
+  // reached a checkpoint).
+  std::vector<Oid> OwnedBy(NodeId node) const {
+    std::vector<Oid> out;
+    for (const auto& [oid, owner] : owners_) {
+      if (owner == node) {
+        out.push_back(oid);
+      }
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
 
   // Every global address an object has ever occupied maps to its oid; the
   // oid maps to its current canonical address (owner's copy).

@@ -44,6 +44,10 @@ enum class MsgKind : uint8_t {
   kStrongUpdate,      // strong-consistency collector: eager address update
   kStrongUpdateAck,
 
+  // --- Crash recovery (RecoveryManager reconciliation). ---
+  kRecoveryQuery,     // restarted node asks peers about tokens/scions/tables
+  kRecoveryReply,
+
   kMaxKind,  // sentinel, keep last
 };
 
@@ -89,6 +93,15 @@ struct Message {
   // in-order reassembly.  Duplicates and retransmissions keep the original
   // rel_seq — that is what makes them recognizable.
   uint64_t rel_seq = 0;
+  // Incarnation epochs of the endpoints at Send time (Network stamps them;
+  // 0 = endpoint with no incarnation history, exempt from epoch checks).  A
+  // node's epoch advances when a fresh incarnation re-registers after a
+  // crash, so wire copies emitted by a previous life — grants, acks,
+  // piggybacked updates already in flight when the sender died — carry a
+  // stale src_epoch and are rejected at delivery instead of reaching a
+  // handler that can no longer trust them.
+  uint64_t src_epoch = 0;
+  uint64_t dst_epoch = 0;
   std::shared_ptr<const Payload> payload;
 };
 

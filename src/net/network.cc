@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "src/common/check.h"
+#include "src/common/fault_injector.h"
+#include "src/common/perf_counters.h"
 
 namespace bmx {
 
@@ -46,6 +48,10 @@ const char* MsgKindName(MsgKind kind) {
       return "StrongUpdate";
     case MsgKind::kStrongUpdateAck:
       return "StrongUpdateAck";
+    case MsgKind::kRecoveryQuery:
+      return "RecoveryQuery";
+    case MsgKind::kRecoveryReply:
+      return "RecoveryReply";
     case MsgKind::kMaxKind:
       break;
   }
@@ -155,6 +161,11 @@ void Network::CountWireCopy(const Payload& payload) {
   stats_.ForCategory(payload.category()).wire_bytes += size;
 }
 
+uint64_t Network::IncarnationOf(NodeId node) const {
+  auto it = incarnation_.find(node);
+  return it == incarnation_.end() ? 0 : it->second;
+}
+
 void Network::RegisterNode(NodeId node, MessageHandler* handler) {
   BMX_CHECK(handler != nullptr);
   bool fresh_incarnation = handlers_.count(node) == 0;
@@ -162,6 +173,7 @@ void Network::RegisterNode(NodeId node, MessageHandler* handler) {
   if (!fresh_incarnation) {
     return;  // handler swap on a live node: channels keep flowing untouched
   }
+  incarnation_[node]++;  // first registration = epoch 1; each rebirth advances
   // A newly attached incarnation starts every inbound channel from sequence
   // zero and receives exactly the reliable traffic parked for it while it was
   // down.  The unacked map is keyed by the original rel_seq, so iteration
@@ -190,6 +202,11 @@ void Network::RegisterNode(NodeId node, MessageHandler* handler) {
       Message msg = entry.msg;
       msg.seq = channel.next_seq++;
       msg.rel_seq = channel.next_rel_seq++;
+      // The replay is a fresh transmission by a live sender to the node's new
+      // incarnation: re-stamp both epochs or the copy would be rejected as
+      // addressed to the dead one.
+      msg.src_epoch = IncarnationOf(key.first);
+      msg.dst_epoch = incarnation_[node];
       RetxEntry replay;
       replay.msg = msg;
       replay.next_retry = now_ + retransmit_timeout_;
@@ -216,6 +233,14 @@ void Network::Enqueue(Channel* channel, Message msg) {
 void Network::Send(NodeId src, NodeId dst, std::shared_ptr<const Payload> payload) {
   BMX_CHECK(payload != nullptr);
   BMX_CHECK_NE(src, dst);
+  if (incarnation_.count(src) > 0 && handlers_.count(src) == 0) {
+    // A crashed node cannot emit traffic.  Lingering call frames of the dead
+    // incarnation (a test-driven operation interrupted by a fault signal, a
+    // teardown path) may still reach Send before the node object is torn
+    // down; the wire never sees their messages.  Nodes the network has never
+    // registered are exempt — raw-harness tests drive Send directly.
+    return;
+  }
   auto& pk = stats_.For(payload->kind());
   auto& pc = stats_.ForCategory(payload->category());
   size_t size = payload->WireSize();
@@ -237,6 +262,8 @@ void Network::Send(NodeId src, NodeId dst, std::shared_ptr<const Payload> payloa
   msg.dst = dst;
   msg.seq = channel.next_seq++;
   msg.rel_seq = reliable ? channel.next_rel_seq++ : 0;
+  msg.src_epoch = IncarnationOf(src);
+  msg.dst_epoch = IncarnationOf(dst);
   msg.payload = std::move(payload);
 
   if (reliable) {
@@ -271,6 +298,29 @@ void Network::AckReliable(Channel* channel, uint64_t rel_seq) {
   channel->unacked.erase(it);
 }
 
+bool Network::StaleEpoch(const Message& msg) const {
+  if (msg.src_epoch != 0 && msg.src_epoch != IncarnationOf(msg.src)) {
+    return true;  // emitted by a previous life of the sender
+  }
+  if (msg.dst_epoch != 0 && msg.dst_epoch != IncarnationOf(msg.dst)) {
+    return true;  // addressed to a previous life of the receiver
+  }
+  return false;
+}
+
+bool Network::Dispatch(MessageHandler* handler, const Message& msg) {
+  try {
+    handler->HandleMessage(msg);
+    return true;
+  } catch (const NodeCrashSignal& signal) {
+    BMX_CHECK(crash_listener_ != nullptr)
+        << "fault site " << signal.site << " crashed node " << signal.node
+        << " with no crash listener installed";
+    crash_listener_(signal.node);
+    return false;
+  }
+}
+
 bool Network::DeliverOne() {
   for (auto& [key, channel] : channels_) {
     if (channel.queue.empty()) {
@@ -283,6 +333,15 @@ bool Network::DeliverOne() {
     auto& pk = stats_.For(msg.payload->kind());
     bool reliable = msg.payload->reliable();
 
+    if (StaleEpoch(msg)) {
+      // The sender (or addressee) of this wire copy has died since it was
+      // emitted: the copy belongs to a previous incarnation and must not
+      // reach a handler.  Reliable copies carry no retransmission obligation
+      // here — the dead sender's unacked state died with it.
+      pk.epoch_rejected++;
+      GlobalPerfCounters().epoch_rejected_msgs++;
+      return true;
+    }
     if (force_drop_reliable_ > 0 && reliable) {
       force_drop_reliable_--;
       pk.lost_transmissions++;
@@ -341,20 +400,24 @@ bool Network::DeliverOne() {
         channel.expected_rel_seq++;
       }
       pk.delivered++;
-      handler->second->HandleMessage(msg);
+      if (!Dispatch(handler->second, msg)) {
+        return true;  // destination crashed processing this delivery
+      }
       for (Message& released : ready) {
         auto h = handlers_.find(released.dst);
         if (h == handlers_.end()) {
           break;  // destination crashed mid-delivery; volatile state is gone
         }
         stats_.For(released.payload->kind()).delivered++;
-        h->second->HandleMessage(released);
+        if (!Dispatch(h->second, released)) {
+          return true;  // crashed on a released successor; the rest die too
+        }
       }
       return true;
     }
 
     pk.delivered++;
-    handler->second->HandleMessage(msg);
+    Dispatch(handler->second, msg);
     return true;
   }
   return false;
@@ -433,8 +496,45 @@ size_t Network::HeldCount() const {
   return n;
 }
 
+size_t Network::DropParked(NodeId src, NodeId dst, MsgKind kind) {
+  auto it = channels_.find({src, dst});
+  if (it == channels_.end()) {
+    return 0;
+  }
+  Channel& channel = it->second;
+  size_t dropped = 0;
+  for (auto u = channel.unacked.begin(); u != channel.unacked.end();) {
+    if (u->second.msg.payload->kind() == kind) {
+      // Also remove any wire copies of this payload still awaiting delivery,
+      // or a future incarnation of dst would see a retransmission of a
+      // payload the sender no longer stands behind.
+      uint64_t rel_seq = u->first;
+      for (auto q = channel.queue.begin(); q != channel.queue.end();) {
+        if (q->payload->reliable() && q->rel_seq == rel_seq &&
+            q->payload->kind() == kind) {
+          pending_--;
+          q = channel.queue.erase(q);
+        } else {
+          ++q;
+        }
+      }
+      u = channel.unacked.erase(u);
+      dropped++;
+    } else {
+      ++u;
+    }
+  }
+  return dropped;
+}
+
 void Network::DisconnectNode(NodeId node) {
   handlers_.erase(node);
+  if (incarnation_.count(node) > 0) {
+    // The life that stamped its epoch on in-flight copies is over; advancing
+    // the epoch *now* (not at re-registration) is what rejects those copies
+    // at delivery even before any successor attaches.
+    incarnation_[node]++;
+  }
   for (auto it = channels_.begin(); it != channels_.end();) {
     Channel& channel = it->second;
     bool to_node = it->first.second == node;
@@ -443,36 +543,37 @@ void Network::DisconnectNode(NodeId node) {
       ++it;
       continue;
     }
-    // Queued wire copies die either way: a crashed sender's in-flight traffic
-    // is discarded with its volatile state, and copies headed to the crashed
-    // node can no longer be received.  Reliable payloads TO the node survive
-    // in the unacked buffer (parked for redelivery); everything FROM the node
-    // is gone for good.
-    for (const Message& msg : channel.queue) {
-      if (to_node && msg.payload->reliable()) {
-        continue;  // its unacked entry below is the surviving parked copy
+    if (to_node) {
+      // Copies headed to the crashed node can no longer be received.
+      // Reliable payloads TO the node survive in the unacked buffer (parked
+      // for redelivery); queued unreliable copies are lost.
+      for (const Message& msg : channel.queue) {
+        if (!msg.payload->reliable()) {
+          stats_.For(msg.payload->kind()).dropped++;
+        }
       }
-      if (!msg.payload->reliable()) {
-        stats_.For(msg.payload->kind()).dropped++;
-      }
-    }
-    pending_ -= channel.queue.size();
-    channel.queue.clear();
-    channel.stashed.clear();
-    if (from_node) {
-      channel.unacked.clear();
-    } else {
+      pending_ -= channel.queue.size();
+      channel.queue.clear();
       for (const auto& [rel_seq, entry] : channel.unacked) {
         stats_.For(entry.msg.payload->kind()).parked++;
       }
+    } else {
+      // A crash cannot recall wire copies the node already emitted: queued
+      // traffic FROM it stays in flight, stamped with the dead incarnation's
+      // epoch, and is rejected at delivery.  The sender-side retransmission
+      // state dies with the node's volatile memory.
+      channel.unacked.clear();
     }
+    // Receiver-side reassembly state of the dead incarnation's stream is
+    // meaningless to its successor either way.
+    channel.stashed.clear();
     // Re-registration semantics: sequences RESET.  The next incarnation of
     // the node starts every channel from seq zero (both directions), so it
     // can never observe a discontinuity from its predecessor's traffic.
     channel.next_seq = 0;
     channel.next_rel_seq = 0;
     channel.expected_rel_seq = 0;
-    if (channel.unacked.empty()) {
+    if (channel.unacked.empty() && channel.queue.empty()) {
       it = channels_.erase(it);  // prune empty channels
     } else {
       ++it;

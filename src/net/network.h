@@ -29,6 +29,7 @@
 #include <array>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <set>
@@ -63,6 +64,9 @@ struct NetworkStats {
     uint64_t reordered = 0;           // sends perturbed by reordering injection
     uint64_t parked = 0;              // reliable payloads held for a down node
     uint64_t redelivered = 0;         // parked payloads replayed on re-register
+    // Wire copies rejected at delivery because an endpoint's incarnation
+    // epoch advanced after they were emitted (crash recovery).
+    uint64_t epoch_rejected = 0;
   };
   // Category is recorded from each payload at Send time (a single kind can
   // span categories, e.g. acquire requests issued for a baseline collector).
@@ -173,12 +177,44 @@ class Network {
   const NetworkStats& stats() const { return stats_; }
   void ResetStats() { stats_ = NetworkStats{}; }
 
-  // Simulates a node crash: the handler is unregistered, traffic queued from
-  // the node is discarded (its volatile send state dies with it), queued
-  // unreliable traffic to the node is dropped, and unacked reliable traffic
-  // to the node is parked for redelivery.  All channel sequence state
-  // touching the node is reset; empty channels are pruned.
+  // Simulates a node crash: the handler is unregistered, queued unreliable
+  // traffic to the node is dropped, and unacked reliable traffic to the node
+  // is parked for redelivery.  Wire copies already in flight FROM the node
+  // are not recalled — a real crash cannot chase packets — but they carry the
+  // dead incarnation's epoch and are rejected at delivery.  All channel
+  // sequence state touching the node is reset; empty channels are pruned.
   void DisconnectNode(NodeId node);
+
+  // True while the node has a registered handler (i.e. is not crashed or
+  // disconnected).  The DSM layer uses this to distinguish "my request is
+  // deferred at a live peer" from "my request is parked toward a dead one".
+  bool NodeAttached(NodeId node) const { return handlers_.count(node) > 0; }
+
+  // Drops parked/unacked reliable payloads of one kind from the (src, dst)
+  // channel, plus any queued wire copies of them.  Used when the sender
+  // abandons a request addressed to a crashed node: without this, the request
+  // would be replayed to the node's next incarnation even though the caller
+  // already gave up on it (and possibly reissued it elsewhere).  Returns the
+  // number of payloads dropped.
+  size_t DropParked(NodeId src, NodeId dst, MsgKind kind);
+
+  // --- Incarnation epochs. ---
+  // Every registered node has an incarnation number (first registration = 1);
+  // re-registration after DisconnectNode advances it.  Send() stamps both
+  // endpoints' epochs on the message, and DeliverOne() rejects wire copies
+  // whose stamped epoch no longer matches — the transport-level filter that
+  // makes a previous life's grants, acks and piggybacks inert.  Nodes never
+  // seen by RegisterNode have epoch 0 and are exempt (test harnesses).
+  uint64_t IncarnationOf(NodeId node) const;
+
+  // Invoked (if set) when a handler throws NodeCrashSignal mid-delivery: the
+  // cluster converts the signal into a node crash (DisconnectNode + deferred
+  // teardown of the node object).  The listener runs after the victim's stack
+  // has unwound; it must not destroy the handler object synchronously if the
+  // victim's own frames may still be live below RunUntilIdle.
+  void set_crash_listener(std::function<void(NodeId)> listener) {
+    crash_listener_ = std::move(listener);
+  }
 
  private:
   using ChannelKey = std::pair<NodeId, NodeId>;
@@ -207,6 +243,12 @@ class Network {
   void AckReliable(Channel* channel, uint64_t rel_seq);
   bool ReachableChannel(const ChannelKey& key) const;
   void CountWireCopy(const Payload& payload);
+  // True if the wire copy was emitted by or addressed to an incarnation that
+  // is no longer current (counted in epoch_rejected_msgs by the caller).
+  bool StaleEpoch(const Message& msg) const;
+  // Delivers to a handler, converting a thrown NodeCrashSignal into a crash
+  // via the crash listener.  Returns false if the handler crashed.
+  bool Dispatch(MessageHandler* handler, const Message& msg);
 
   Rng rng_;
   uint64_t now_ = 0;
@@ -218,6 +260,9 @@ class Network {
   double ack_loss_rate_ = 0.0;
   size_t force_drop_reliable_ = 0;
   std::map<NodeId, MessageHandler*> handlers_;
+  // Incarnation number per node ever registered (see IncarnationOf).
+  std::map<NodeId, uint64_t> incarnation_;
+  std::function<void(NodeId)> crash_listener_;
   // std::map keeps channel iteration order deterministic.
   std::map<ChannelKey, Channel> channels_;
   std::set<ChannelKey> partitions_;  // stored as (min, max)

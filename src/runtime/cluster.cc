@@ -6,6 +6,7 @@ namespace bmx {
 
 Cluster::Cluster(const ClusterOptions& options) : options_(options), network_(options.seed) {
   BMX_CHECK_GT(options.num_nodes, 0u);
+  network_.set_crash_listener([this](NodeId id) { CrashNode(id); });
   nodes_.reserve(options.num_nodes);
   for (NodeId id = 0; id < options.num_nodes; ++id) {
     nodes_.push_back(
@@ -29,7 +30,11 @@ void Cluster::CrashNode(NodeId id) {
   for (BunchId bunch : directory_.AllBunches()) {
     directory_.NoteUnmapped(bunch, id);
   }
-  nodes_[id].reset();
+  // The crash may have been signalled from inside one of the victim's own
+  // message handlers (fault injection), with its frames still live below the
+  // network's dispatch loop — destroying the Node here would be use-after-
+  // free.  Park it; nodes_[id] == nullptr is the "crashed" marker either way.
+  zombies_.push_back(std::move(nodes_[id]));
 }
 
 Node& Cluster::RestartNode(NodeId id) {

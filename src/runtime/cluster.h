@@ -56,8 +56,14 @@ class Cluster {
   // Simulates a node crash: volatile state is discarded, in-flight traffic
   // from the node is dropped, unreliable traffic to it is lost, and reliable
   // traffic to it is parked in each sender's retransmission buffer.  Stable
-  // storage (the shared Disk) survives.
+  // storage (the shared Disk) survives.  Also invoked by the network's crash
+  // listener when a fault-injection site fires inside a message handler; in
+  // that case the victim's frames may still be live below the network's
+  // dispatch loop, so the Node object is parked in zombies_ instead of being
+  // destroyed (deferred teardown — freed when the Cluster dies).
   void CrashNode(NodeId id);
+  // True while the node has live volatile state (not crashed).
+  bool IsAlive(NodeId id) const { return id < nodes_.size() && nodes_[id] != nullptr; }
   // Brings a crashed node back with empty volatile state; reliable traffic
   // parked while it was down is replayed to the new incarnation (FIFO per
   // sender, deduplicated).  Callers recover segments through
@@ -70,6 +76,8 @@ class Cluster {
   SegmentDirectory directory_;
   Disk disk_;
   std::vector<std::unique_ptr<Node>> nodes_;
+  // Crashed Node objects whose destruction is deferred (see CrashNode).
+  std::vector<std::unique_ptr<Node>> zombies_;
 };
 
 }  // namespace bmx

@@ -9,7 +9,8 @@ Node::Node(NodeId id, Network* network, SegmentDirectory* directory, Disk* disk,
       network_(network),
       dsm_(id, network, directory, &store_, mode),
       gc_(id, network, directory, &store_, &dsm_),
-      persistence_(disk, id) {
+      persistence_(disk, id),
+      recovery_(id, network, directory, &store_, &dsm_, &gc_, &persistence_) {
   network_->RegisterNode(id_, this);
 }
 
@@ -29,6 +30,10 @@ void Node::HandleMessage(const Message& msg) {
     case MsgKind::kAddressChange:
     case MsgKind::kAddressChangeAck:
       gc_.HandleMessage(msg);
+      return;
+    case MsgKind::kRecoveryQuery:
+    case MsgKind::kRecoveryReply:
+      recovery_.HandleMessage(msg);
       return;
     default:
       BMX_CHECK(extra_handler_ != nullptr)

@@ -15,6 +15,7 @@
 #include "src/mem/replica_store.h"
 #include "src/net/network.h"
 #include "src/runtime/persistence.h"
+#include "src/runtime/recovery.h"
 #include "src/rvm/disk.h"
 
 namespace bmx {
@@ -30,6 +31,7 @@ class Node : public MessageHandler {
   DsmNode& dsm() { return dsm_; }
   GcEngine& gc() { return gc_; }
   PersistenceManager& persistence() { return persistence_; }
+  RecoveryManager& recovery() { return recovery_; }
 
   // Handler for baseline-collector message kinds (StwStop…, Rc…, Strong…).
   void set_extra_handler(MessageHandler* handler) { extra_handler_ = handler; }
@@ -47,6 +49,7 @@ class Node : public MessageHandler {
   DsmNode dsm_;
   GcEngine gc_;
   PersistenceManager persistence_;
+  RecoveryManager recovery_;
   MessageHandler* extra_handler_ = nullptr;
 };
 

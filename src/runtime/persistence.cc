@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "src/common/check.h"
+#include "src/common/fault_injector.h"
 
 namespace bmx {
 
@@ -25,7 +26,7 @@ uint64_t GetU64(const uint8_t* p) {
 }  // namespace
 
 PersistenceManager::PersistenceManager(Disk* disk, NodeId node)
-    : disk_(disk), node_(node), rvm_(disk, "rvm_log_node_" + std::to_string(node)) {}
+    : disk_(disk), node_(node), rvm_(disk, "rvm_log_node_" + std::to_string(node), node) {}
 
 std::string PersistenceManager::DataFile(SegmentId seg) const {
   return "seg_" + std::to_string(seg) + ".data";
@@ -33,6 +34,57 @@ std::string PersistenceManager::DataFile(SegmentId seg) const {
 
 std::string PersistenceManager::MetaFile(SegmentId seg) const {
   return "seg_" + std::to_string(seg) + ".meta";
+}
+
+std::string PersistenceManager::ManifestFile() const {
+  return "manifest_node_" + std::to_string(node_);
+}
+
+std::vector<uint8_t> PersistenceManager::EncodeManifest() const {
+  std::vector<uint8_t> out;
+  PutU64(&out, manifest_.size());
+  for (const auto& [seg, bunch] : manifest_) {
+    PutU64(&out, seg);
+    PutU64(&out, bunch);
+  }
+  return out;
+}
+
+void PersistenceManager::EnsureManifestLoaded() {
+  if (manifest_loaded_) {
+    return;
+  }
+  manifest_loaded_ = true;
+  if (!disk_->Exists(ManifestFile())) {
+    return;
+  }
+  const std::vector<uint8_t>& raw = disk_->Contents(ManifestFile());
+  if (raw.size() < 8) {
+    return;
+  }
+  uint64_t count = GetU64(raw.data());
+  // A manifest rewritten smaller leaves stale trailing bytes in the region
+  // file; the leading count is what delimits the live prefix.
+  BMX_CHECK_LE(8 + count * 16, raw.size()) << "corrupt manifest for node " << node_;
+  for (uint64_t i = 0; i < count; ++i) {
+    SegmentId seg = static_cast<SegmentId>(GetU64(raw.data() + 8 + i * 16));
+    BunchId bunch = static_cast<BunchId>(GetU64(raw.data() + 8 + i * 16 + 8));
+    manifest_[seg] = bunch;
+  }
+}
+
+std::vector<uint8_t> PersistenceManager::MergeIntoManifest(
+    const std::vector<std::pair<SegmentId, BunchId>>& entries) {
+  EnsureManifestLoaded();
+  for (const auto& [seg, bunch] : entries) {
+    manifest_[seg] = bunch;
+  }
+  return EncodeManifest();
+}
+
+const std::map<SegmentId, BunchId>& PersistenceManager::Manifest() {
+  EnsureManifestLoaded();
+  return manifest_;
 }
 
 std::vector<uint8_t> PersistenceManager::EncodeMeta(SegmentImage* image) const {
@@ -54,6 +106,7 @@ void PersistenceManager::CheckpointSegments(const std::vector<SegmentImage*>& im
   std::vector<std::vector<uint8_t>> metas;
   metas.reserve(images.size());
   TxId tx = rvm_.BeginTransaction();
+  std::vector<std::pair<SegmentId, BunchId>> entries;
   for (SegmentImage* image : images) {
     const std::string data = DataFile(image->id());
     const std::string meta = MetaFile(image->id());
@@ -62,8 +115,17 @@ void PersistenceManager::CheckpointSegments(const std::vector<SegmentImage*>& im
     rvm_.MapRegionAdopt(meta, metas.back().data(), metas.back().size());
     rvm_.SetRange(tx, data, 0, kSegmentBytes);
     rvm_.SetRange(tx, meta, 0, metas.back().size());
+    entries.push_back({image->id(), image->bunch()});
   }
+  // The manifest rides in the same transaction: a checkpoint either lands
+  // with its manifest entries or not at all.
+  std::vector<uint8_t> manifest_buf = MergeIntoManifest(entries);
+  rvm_.MapRegionAdopt(ManifestFile(), manifest_buf.data(), manifest_buf.size());
+  rvm_.SetRange(tx, ManifestFile(), 0, manifest_buf.size());
+  FAULT_POINT("persist.checkpoint.pre_commit", node_);
   rvm_.CommitTransaction(tx);
+  FAULT_POINT("persist.checkpoint.post_commit", node_);
+  rvm_.UnmapRegion(ManifestFile());
   for (SegmentImage* image : images) {
     rvm_.UnmapRegion(DataFile(image->id()));
     rvm_.UnmapRegion(MetaFile(image->id()));
@@ -80,7 +142,9 @@ void PersistenceManager::CommitObjects(
   std::vector<std::vector<uint8_t>> metas;
   metas.reserve(by_segment.size());
   TxId tx = rvm_.BeginTransaction();
+  std::vector<std::pair<SegmentId, BunchId>> entries;
   for (auto& [image, addrs] : by_segment) {
+    entries.push_back({image->id(), image->bunch()});
     const std::string data = DataFile(image->id());
     const std::string meta = MetaFile(image->id());
     metas.push_back(EncodeMeta(image));
@@ -106,14 +170,26 @@ void PersistenceManager::CommitObjects(
                     (last_word - first_word + 1) * 8);
     }
   }
+  std::vector<uint8_t> manifest_buf = MergeIntoManifest(entries);
+  rvm_.MapRegionAdopt(ManifestFile(), manifest_buf.data(), manifest_buf.size());
+  rvm_.SetRange(tx, ManifestFile(), 0, manifest_buf.size());
+  FAULT_POINT("persist.checkpoint.pre_commit", node_);
   rvm_.CommitTransaction(tx);
+  FAULT_POINT("persist.checkpoint.post_commit", node_);
+  rvm_.UnmapRegion(ManifestFile());
   for (auto& [image, addrs] : by_segment) {
     rvm_.UnmapRegion(DataFile(image->id()));
     rvm_.UnmapRegion(MetaFile(image->id()));
   }
 }
 
-void PersistenceManager::Recover() { rvm_.Recover(); }
+void PersistenceManager::Recover() {
+  rvm_.Recover();
+  // Replay may have landed manifest entries committed by the previous life;
+  // re-read the file on the next Manifest() call.
+  manifest_loaded_ = false;
+  manifest_.clear();
+}
 
 bool PersistenceManager::LoadSegment(SegmentImage* image) {
   const std::string data = DataFile(image->id());

@@ -46,17 +46,34 @@ class PersistenceManager {
   // Applies the log to the data files and resets it (periodic maintenance).
   void TruncateLog();
 
+  // Durable record of every (segment, bunch) this node has checkpointed,
+  // updated atomically inside each checkpoint/commit transaction.  Segment
+  // data/meta files live in a shared namespace (any replica of a bunch may
+  // checkpoint a segment), so this manifest is what tells a recovering node
+  // *which* images belonged to it.  Only meaningful after Recover() on a
+  // restarted node.
+  const std::map<SegmentId, BunchId>& Manifest();
+
   Rvm& rvm() { return rvm_; }
 
  private:
   std::string DataFile(SegmentId seg) const;
   std::string MetaFile(SegmentId seg) const;
+  std::string ManifestFile() const;
   // Serialized sidecar: cursor + object-map words + ref-map words.
   std::vector<uint8_t> EncodeMeta(SegmentImage* image) const;
+  // Parses the on-disk manifest into manifest_ (once per incarnation).
+  void EnsureManifestLoaded();
+  std::vector<uint8_t> EncodeManifest() const;
+  // Merges fresh entries and returns the serialized image to be written in
+  // the caller's open transaction (the buffer must stay alive until commit).
+  std::vector<uint8_t> MergeIntoManifest(const std::vector<std::pair<SegmentId, BunchId>>& entries);
 
   Disk* disk_;
   NodeId node_;
   Rvm rvm_;
+  bool manifest_loaded_ = false;
+  std::map<SegmentId, BunchId> manifest_;
 };
 
 }  // namespace bmx

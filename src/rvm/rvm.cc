@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "src/common/check.h"
+#include "src/common/fault_injector.h"
 
 namespace bmx {
 
@@ -41,7 +42,8 @@ uint32_t GetU32(const uint8_t* p) {
 
 }  // namespace
 
-Rvm::Rvm(Disk* disk, std::string log_name) : disk_(disk), log_name_(std::move(log_name)) {
+Rvm::Rvm(Disk* disk, std::string log_name, NodeId owner)
+    : disk_(disk), log_name_(std::move(log_name)), owner_(owner) {
   BMX_CHECK(disk_ != nullptr);
   if (!disk_->Exists(log_name_)) {
     disk_->Create(log_name_, 0);
@@ -119,6 +121,9 @@ void Rvm::AppendRedoRecords(const OpenTx& tx, TxId id) {
     stats_.log_records++;
     stats_.log_bytes += buf.size();
   }
+  // Every redo record is on disk but the commit marker is not: a crash here
+  // must leave the transaction invisible to Recover().
+  FAULT_POINT("rvm.commit.pre_marker", owner_);
   buf.clear();
   buf.push_back(kRecCommit);
   PutU64(&buf, id);
@@ -130,6 +135,9 @@ void Rvm::AppendRedoRecords(const OpenTx& tx, TxId id) {
 void Rvm::CommitTransaction(TxId tx) {
   auto it = open_.find(tx);
   BMX_CHECK(it != open_.end()) << "unknown transaction " << tx;
+  // Crash before any redo record reaches the log: the transaction's effects
+  // exist only in the (dying) volatile image.
+  FAULT_POINT("rvm.commit.pre_log", owner_);
   AppendRedoRecords(it->second, tx);
   open_.erase(it);
   stats_.transactions_committed++;
@@ -150,6 +158,9 @@ void Rvm::AbortTransaction(TxId tx) {
 
 void Rvm::TruncateLog() {
   Recover();
+  // Crash between applying the committed prefix and resetting the log: the
+  // next Recover() replays the same records again, which must be idempotent.
+  FAULT_POINT("rvm.truncate.pre_reset", owner_);
   disk_->Truncate(log_name_, 0);
   stats_.truncations++;
 }

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/types.h"
 #include "src/rvm/disk.h"
 
 namespace bmx {
@@ -43,8 +44,10 @@ struct RvmStats {
 class Rvm {
  public:
   // log_name identifies this manager's log file on `disk`.  An existing log
-  // is left in place so that Recover() can replay it.
-  Rvm(Disk* disk, std::string log_name);
+  // is left in place so that Recover() can replay it.  `owner` names the node
+  // this manager belongs to for crash-point fault injection (kInvalidNode for
+  // standalone use: no armed schedule can target it).
+  Rvm(Disk* disk, std::string log_name, NodeId owner = kInvalidNode);
 
   // Associates an external data file with a region of volatile memory and
   // loads the file's current contents into it.  Creates the file (zero
@@ -97,6 +100,7 @@ class Rvm {
 
   Disk* disk_;
   std::string log_name_;
+  NodeId owner_ = kInvalidNode;
   TxId next_tx_ = 1;
   std::map<TxId, OpenTx> open_;
   std::map<std::string, Region> regions_;
