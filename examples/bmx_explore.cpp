@@ -1,0 +1,156 @@
+// Schedule-exploration CLI: runs the Explorer over the fig. 1–4 scenario
+// closures (or one named scenario) under a wall-clock budget, prints one
+// summary line per scenario, and writes the shrunk trace of any invariant
+// violation to --trace-dir.  CI runs this under ASan+UBSan as the
+// exploration job; exit status is non-zero iff a violation was found, so the
+// uploaded trace artifact is the repro.
+//
+//   bmx_explore [--budget-seconds N] [--seeds N] [--seed ROOT]
+//               [--schedule fifo|random-walk|delay-bounded]
+//               [--delay-bound N] [--deviation-rate R] [--stride N]
+//               [--trace-dir DIR] [--scenario NAME] [--canary] [--list]
+//
+// --canary swaps in the planted-ordering-bug scenario (a self-test of the
+// find→shrink→replay pipeline: it MUST violate, and the run fails if the
+// explorer misses it).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/runtime/explorer.h"
+#include "src/runtime/scenarios.h"
+
+using namespace bmx;
+
+namespace {
+
+uint64_t ParseU64(const char* s) { return std::strtoull(s, nullptr, 10); }
+
+void PrintResult(const ExplorerScenario& scenario, const ExplorationResult& result) {
+  std::printf("%-28s %-9s runs=%zu deliveries=%llu",
+              scenario.name.c_str(), result.violation_found ? "VIOLATED" : "clean",
+              result.runs, static_cast<unsigned long long>(result.total_deliveries));
+  if (result.violation_found) {
+    std::printf(" walk_seed=%llu trace_decisions=%zu shrunk=%zu",
+                static_cast<unsigned long long>(result.violating_walk_seed),
+                result.trace.decisions.size(), result.shrunk.decisions.size());
+  }
+  std::printf("\n");
+  for (const std::string& v : result.violations) {
+    std::printf("    violation: %s\n", v.c_str());
+  }
+  if (!result.trace_path.empty()) {
+    std::printf("    trace: %s\n", result.trace_path.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ExplorerOptions options;
+  options.num_walks = 256;
+  options.budget_seconds = 30.0;
+  options.oracle_stride = 1;
+  std::string only_scenario;
+  bool canary = false;
+  bool list = false;
+
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--budget-seconds") == 0) {
+      options.budget_seconds = std::strtod(next("--budget-seconds"), nullptr);
+    } else if (std::strcmp(argv[i], "--seeds") == 0) {
+      options.num_walks = static_cast<size_t>(ParseU64(next("--seeds")));
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      options.root_seed = ParseU64(next("--seed"));
+    } else if (std::strcmp(argv[i], "--schedule") == 0) {
+      std::string kind = next("--schedule");
+      if (kind == "fifo") {
+        options.schedule = ScheduleKind::kFifo;
+      } else if (kind == "random-walk") {
+        options.schedule = ScheduleKind::kRandomWalk;
+      } else if (kind == "delay-bounded") {
+        options.schedule = ScheduleKind::kDelayBounded;
+      } else {
+        std::fprintf(stderr, "unknown schedule: %s\n", kind.c_str());
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--delay-bound") == 0) {
+      options.delay_bound = ParseU64(next("--delay-bound"));
+    } else if (std::strcmp(argv[i], "--deviation-rate") == 0) {
+      options.deviation_rate = std::strtod(next("--deviation-rate"), nullptr);
+    } else if (std::strcmp(argv[i], "--stride") == 0) {
+      options.oracle_stride = ParseU64(next("--stride"));
+    } else if (std::strcmp(argv[i], "--trace-dir") == 0) {
+      options.trace_dir = next("--trace-dir");
+    } else if (std::strcmp(argv[i], "--scenario") == 0) {
+      only_scenario = next("--scenario");
+    } else if (std::strcmp(argv[i], "--canary") == 0) {
+      canary = true;
+    } else if (std::strcmp(argv[i], "--list") == 0) {
+      list = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  std::vector<ExplorerScenario> scenarios;
+  if (canary) {
+    scenarios.push_back(CanaryReorderScenario());
+  } else {
+    for (ExplorerScenario& s : StandardScenarios()) {
+      if (only_scenario.empty() || s.name == only_scenario) {
+        scenarios.push_back(std::move(s));
+      }
+    }
+  }
+  if (list) {
+    for (const ExplorerScenario& s : scenarios) {
+      std::printf("%s\n", s.name.c_str());
+    }
+    return 0;
+  }
+  if (scenarios.empty()) {
+    std::fprintf(stderr, "no scenario named %s\n", only_scenario.c_str());
+    return 2;
+  }
+
+  // The root seed drives every walk; logging it is what makes a CI failure
+  // reproducible on any machine.
+  std::printf("bmx_explore: root_seed=%llu walks=%zu budget=%.1fs stride=%llu\n",
+              static_cast<unsigned long long>(options.root_seed), options.num_walks,
+              options.budget_seconds, static_cast<unsigned long long>(options.oracle_stride));
+
+  // The wall-clock budget is split evenly across scenarios.
+  if (options.budget_seconds > 0 && scenarios.size() > 1) {
+    options.budget_seconds /= static_cast<double>(scenarios.size());
+  }
+
+  bool any_violation = false;
+  Explorer explorer(options);
+  for (const ExplorerScenario& scenario : scenarios) {
+    ExplorationResult result = explorer.Explore(scenario);
+    PrintResult(scenario, result);
+    any_violation |= result.violation_found;
+  }
+
+  if (canary && !any_violation) {
+    std::fprintf(stderr, "canary self-test FAILED: explorer missed the planted bug\n");
+    return 1;
+  }
+  if (canary) {
+    std::printf("canary self-test ok: planted bug found and shrunk\n");
+    return 0;
+  }
+  return any_violation ? 1 : 0;
+}

@@ -68,10 +68,29 @@ void FaultInjector::Hit(const char* site, NodeId node) {
   if (it == armed_.end()) {
     return;
   }
-  if (++it->second.hits == it->second.kth_hit) {
+  if (++it->second.hits >= it->second.kth_hit) {
+    if (fire_gate_ && !fire_gate_(site, node)) {
+      // The decision stream suppressed this firing; the schedule stays armed
+      // and is consulted again at the site's next hit.
+      return;
+    }
     armed_.erase(it);  // one-shot: the node is about to die
     throw NodeCrashSignal{node, site};
   }
+}
+
+void FaultInjector::set_fire_gate(const void* owner,
+                                  std::function<bool(const char*, NodeId)> gate) {
+  gate_owner_ = owner;
+  fire_gate_ = std::move(gate);
+}
+
+void FaultInjector::ClearFireGate(const void* owner) {
+  if (gate_owner_ != owner) {
+    return;  // a successor installed its own gate; leave it alone
+  }
+  gate_owner_ = nullptr;
+  fire_gate_ = nullptr;
 }
 
 void FaultInjector::Arm(const std::string& site, NodeId node, uint64_t kth_hit) {

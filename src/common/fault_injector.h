@@ -19,6 +19,7 @@
 #define SRC_COMMON_FAULT_INJECTOR_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <utility>
@@ -62,6 +63,17 @@ class FaultInjector {
   uint64_t HitCount(const std::string& site, NodeId node) const;
   uint64_t HitCount(const std::string& site) const;
 
+  // Routes armed-schedule firings through the network's decision stream.
+  // When a gate is set, a matched schedule throws only if the gate returns
+  // true; a gated-off match leaves the schedule armed, to be consulted again
+  // on the next hit of the site.  `owner` scopes removal: ClearFireGate is a
+  // no-op unless called with the owner that installed the current gate, so a
+  // network being destroyed cannot tear down a successor's gate.  Reset()
+  // deliberately leaves the gate in place — it is delivery-scheduling
+  // plumbing, not an armed schedule.
+  void set_fire_gate(const void* owner, std::function<bool(const char*, NodeId)> gate);
+  void ClearFireGate(const void* owner);
+
   // Canonical site table; arming or hitting a name outside it is a fatal
   // error.
   static const std::vector<const char*>& AllSites();
@@ -79,6 +91,8 @@ class FaultInjector {
   bool recording_ = false;
   std::map<SiteNode, Schedule> armed_;
   std::map<SiteNode, uint64_t> hits_;
+  const void* gate_owner_ = nullptr;
+  std::function<bool(const char*, NodeId)> fire_gate_;
 };
 
 // Site marker used by protocol code.  Reads as a statement and compiles to a

@@ -1,8 +1,17 @@
 // Deterministic pseudo-random generator (splitmix64 core).
 //
 // Every source of randomness in the simulation — message-loss injection,
-// workload generation — draws from an explicitly seeded Rng so that runs are
-// reproducible bit-for-bit.
+// delivery scheduling, workload generation — draws from an explicitly seeded
+// Rng so that runs are reproducible bit-for-bit.
+//
+// Stream splitting: components that make several *independent* families of
+// random decisions (the network's loss / duplication / reorder / ack-loss
+// draws, the delivery scheduler, workload generators) must not share one Rng
+// sequence.  With a shared sequence, toggling one knob (say duplication)
+// consumes extra draws and silently perturbs every other family — "changing
+// the loss rate changed which messages were reordered".  DeriveStreamSeed
+// derives a decorrelated per-purpose seed from one root seed via a splitmix
+// round, so each family owns its own sequence and knobs compose.
 
 #ifndef SRC_COMMON_RNG_H_
 #define SRC_COMMON_RNG_H_
@@ -33,6 +42,31 @@ class Rng {
  private:
   uint64_t state_;
 };
+
+// Named independent random-decision families.  Every purpose gets its own
+// stream derived from the component's root seed; add new entries rather than
+// sharing an existing stream.
+enum class RngStream : uint64_t {
+  kUnreliableLoss = 1,  // datagram loss draws
+  kDuplication,         // duplication draws (both delivery classes)
+  kReorder,             // enqueue-order perturbation draws
+  kReliableLoss,        // in-flight loss of reliable transmissions
+  kAckLoss,             // transport-ack loss draws
+  kScheduler,           // delivery-scheduler picks (random walk, delay bound)
+  kWorkload,            // workload generators (graph builders, churn)
+  kFaultSchedule,       // randomized crash-point schedule generation
+};
+
+// Derives the seed of one purpose-specific stream from a root seed.  Two
+// splitmix finalizer rounds over (root, stream) decorrelate the streams: the
+// sequences for two different purposes share no state, so drawing from one
+// never perturbs another.
+inline uint64_t DeriveStreamSeed(uint64_t root_seed, RngStream stream) {
+  Rng mix(root_seed ^ (0xbf58476d1ce4e5b9ull * (static_cast<uint64_t>(stream) + 1)));
+  uint64_t first = mix.Next();
+  Rng fold(first ^ root_seed);
+  return fold.Next();
+}
 
 }  // namespace bmx
 

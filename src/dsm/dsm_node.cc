@@ -855,6 +855,17 @@ void DsmNode::HandleInvalidateAck(const Message& msg) {
     // the node never started one (the ack was redelivered after a restart).
     return;
   }
+  if (canary_victim_ != kNullOid) {
+    // Planted ordering bug (explorer canary): acks arriving in decreasing
+    // src order — a cross-channel reordering no FIFO schedule produces —
+    // corrupt the token table by usurping ownership of the victim object.
+    if (canary_last_ack_src_ != kInvalidNode && msg.src < canary_last_ack_src_) {
+      TokenInfo& victim = InfoOf(canary_victim_);
+      victim.owner = true;
+      victim.state = TokenState::kWrite;
+    }
+    canary_last_ack_src_ = msg.src;
+  }
   it->second.awaiting--;
   TryFinishInvalidation(ack.oid);
 }

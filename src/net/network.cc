@@ -1,6 +1,7 @@
 #include "src/net/network.h"
 
 #include <algorithm>
+#include <string>
 
 #include "src/common/check.h"
 #include "src/common/fault_injector.h"
@@ -114,6 +115,44 @@ uint64_t NetworkStats::BytesInCategory(MsgCategory category) const {
   return ForCategory(category).bytes;
 }
 
+std::string NetworkStats::Fingerprint() const {
+  std::string out;
+  for (size_t k = 0; k < per_kind.size(); ++k) {
+    const PerKind& pk = per_kind[k];
+    if (pk.sent == 0 && pk.delivered == 0 && pk.wire_bytes == 0) {
+      continue;
+    }
+    out += MsgKindName(static_cast<MsgKind>(k));
+    out += ':';
+    out += std::to_string(pk.sent);
+    out += ':';
+    out += std::to_string(pk.delivered);
+    out += ':';
+    out += std::to_string(pk.dropped);
+    out += ':';
+    out += std::to_string(pk.retransmits);
+    out += ':';
+    out += std::to_string(pk.dup_suppressed);
+    out += ':';
+    out += std::to_string(pk.bytes);
+    out += ':';
+    out += std::to_string(pk.wire_bytes);
+    out += '\n';
+  }
+  return out;
+}
+
+Network::Network(uint64_t seed)
+    : root_seed_(seed),
+      loss_rng_(DeriveStreamSeed(seed, RngStream::kUnreliableLoss)),
+      dup_rng_(DeriveStreamSeed(seed, RngStream::kDuplication)),
+      reorder_rng_(DeriveStreamSeed(seed, RngStream::kReorder)),
+      rel_loss_rng_(DeriveStreamSeed(seed, RngStream::kReliableLoss)),
+      ack_loss_rng_(DeriveStreamSeed(seed, RngStream::kAckLoss)),
+      scheduler_(std::make_unique<FifoScheduler>()) {}
+
+Network::~Network() { DetachFaultGate(); }
+
 void Network::set_retransmit_timeout(uint64_t ticks) {
   BMX_CHECK_GT(ticks, 0u);
   retransmit_timeout_ = ticks;
@@ -127,6 +166,53 @@ void Network::set_reliable_loss_rate(double p) {
 void Network::set_ack_loss_rate(double p) {
   BMX_CHECK_LT(p, 1.0) << "a channel that loses every ack cannot terminate";
   ack_loss_rate_ = p;
+}
+
+void Network::set_scheduler(std::unique_ptr<SchedulerPolicy> scheduler) {
+  scheduler_ = scheduler ? std::move(scheduler) : std::make_unique<FifoScheduler>();
+}
+
+void Network::StartRecording() {
+  decisions_.StartRecording();
+  decisions_.mutable_trace()->root_seed = root_seed_;
+  decisions_.mutable_trace()->scheduler = scheduler_->name();
+  AttachFaultGate();
+}
+
+Trace Network::TakeRecordedTrace() {
+  DetachFaultGate();
+  return decisions_.TakeTrace();
+}
+
+void Network::ReplayFrom(const Trace& trace) {
+  decisions_.StartReplay(trace);
+  AttachFaultGate();
+}
+
+void Network::AttachFaultGate() {
+  if (fault_gate_attached_) {
+    return;
+  }
+  FaultInjector::Global().set_fire_gate(this, [this](const char*, NodeId) {
+    return decisions_.Resolve(DecisionPoint::kFaultFire, 1, [] { return uint64_t{1}; }) != 0;
+  });
+  fault_gate_attached_ = true;
+}
+
+void Network::DetachFaultGate() {
+  if (!fault_gate_attached_) {
+    return;
+  }
+  FaultInjector::Global().ClearFireGate(this);
+  fault_gate_attached_ = false;
+}
+
+bool Network::DrawChance(DecisionPoint point, double rate, Rng* rng) {
+  if (rate <= 0) {
+    return false;  // the draw point does not exist: no decision index consumed
+  }
+  return decisions_.Resolve(point, 0,
+                            [&] { return rng->Chance(rate) ? uint64_t{1} : uint64_t{0}; }) != 0;
 }
 
 void Network::PartitionNodes(NodeId a, NodeId b) {
@@ -159,6 +245,17 @@ void Network::CountWireCopy(const Payload& payload) {
   size_t size = payload.WireSize();
   stats_.For(payload.kind()).wire_bytes += size;
   stats_.ForCategory(payload.category()).wire_bytes += size;
+}
+
+void Network::CountParked(Channel* channel, const Message& msg) {
+  auto it = channel->unacked.find(msg.rel_seq);
+  if (it == channel->unacked.end() || it->second.parked_counted) {
+    // Already retired, or already counted for this down period — a duplicated
+    // wire copy reaching a dead destination must not park the payload twice.
+    return;
+  }
+  it->second.parked_counted = true;
+  stats_.For(msg.payload->kind()).parked++;
 }
 
 uint64_t Network::IncarnationOf(NodeId node) const {
@@ -210,6 +307,8 @@ void Network::RegisterNode(NodeId node, MessageHandler* handler) {
       RetxEntry replay;
       replay.msg = msg;
       replay.next_retry = now_ + retransmit_timeout_;
+      // parked_counted resets with the fresh entry: if this incarnation dies
+      // too, the payload parks (and counts) again for the new down period.
       channel.unacked.emplace(msg.rel_seq, replay);
       channel.queue.push_back(std::move(msg));
       pending_++;
@@ -220,7 +319,8 @@ void Network::RegisterNode(NodeId node, MessageHandler* handler) {
 }
 
 void Network::Enqueue(Channel* channel, Message msg) {
-  bool reorder = reorder_rate_ > 0 && !channel->queue.empty() && rng_.Chance(reorder_rate_);
+  bool reorder = !channel->queue.empty() &&
+                 DrawChance(DecisionPoint::kReorder, reorder_rate_, &reorder_rng_);
   if (reorder) {
     stats_.For(msg.payload->kind()).reordered++;
     channel->queue.insert(channel->queue.end() - 1, std::move(msg));
@@ -251,7 +351,7 @@ void Network::Send(NodeId src, NodeId dst, std::shared_ptr<const Payload> payloa
   CountWireCopy(*payload);
 
   bool reliable = payload->reliable();
-  if (!reliable && loss_rate_ > 0 && rng_.Chance(loss_rate_)) {
+  if (!reliable && DrawChance(DecisionPoint::kUnreliableLoss, loss_rate_, &loss_rng_)) {
     pk.dropped++;
     return;
   }
@@ -273,8 +373,7 @@ void Network::Send(NodeId src, NodeId dst, std::shared_ptr<const Payload> payloa
     channel.unacked.emplace(msg.rel_seq, std::move(entry));
   }
 
-  bool duplicate = duplication_rate_ > 0 && rng_.Chance(duplication_rate_);
-  if (duplicate) {
+  if (DrawChance(DecisionPoint::kDuplication, duplication_rate_, &dup_rng_)) {
     // The duplicate is a second wire copy of the SAME message: it keeps the
     // original seq/rel_seq (that is what receiver-side dedup keys on) and its
     // bytes count as real traffic.
@@ -290,7 +389,7 @@ void Network::AckReliable(Channel* channel, uint64_t rel_seq) {
   if (it == channel->unacked.end()) {
     return;  // already acked (e.g. first copy of a duplicate)
   }
-  if (ack_loss_rate_ > 0 && rng_.Chance(ack_loss_rate_)) {
+  if (DrawChance(DecisionPoint::kAckLoss, ack_loss_rate_, &ack_loss_rng_)) {
     // Ack lost in flight: the sender will retransmit and the receiver will
     // suppress the duplicate.
     return;
@@ -321,106 +420,164 @@ bool Network::Dispatch(MessageHandler* handler, const Message& msg) {
   }
 }
 
-bool Network::DeliverOne() {
+Network::Channel* Network::PickDeliveryChannel(ChannelKey* key_out) {
+  if (decisions_.mode() == DecisionLog::Mode::kLive && scheduler_->IsFifo()) {
+    // Historical zero-overhead path: live FIFO consumes no decision indices
+    // and builds no candidate list.
+    for (auto& [key, channel] : channels_) {
+      if (!channel.queue.empty()) {
+        *key_out = key;
+        return &channel;
+      }
+    }
+    return nullptr;
+  }
+  std::vector<ChannelCandidate> candidates;
+  std::vector<std::pair<ChannelKey, Channel*>> backing;
   for (auto& [key, channel] : channels_) {
     if (channel.queue.empty()) {
       continue;
     }
-    Message msg = std::move(channel.queue.front());
-    channel.queue.pop_front();
-    pending_--;
-    now_++;  // every consumed wire copy costs one tick of virtual time
-    auto& pk = stats_.For(msg.payload->kind());
-    bool reliable = msg.payload->reliable();
+    ChannelCandidate c;
+    c.src = key.first;
+    c.dst = key.second;
+    c.head_kind = channel.queue.front().payload->kind();
+    c.queue_len = channel.queue.size();
+    c.deferred = channel.deferred;
+    candidates.push_back(c);
+    backing.emplace_back(key, &channel);
+  }
+  if (candidates.empty()) {
+    return nullptr;
+  }
+  size_t pick = 0;
+  if (candidates.size() > 1) {
+    // A single candidate is no choice at all: it consumes no decision index,
+    // which keeps traces sparse and shrinkable.
+    uint64_t resolved = decisions_.Resolve(DecisionPoint::kDeliverPick, 0, [&] {
+      return static_cast<uint64_t>(scheduler_->Pick(candidates));
+    });
+    // Clamp out-of-range picks (an edited/shrunk trace may index a candidate
+    // list that no longer exists at that width) so replay stays total.
+    pick = static_cast<size_t>(std::min<uint64_t>(resolved, candidates.size() - 1));
+  }
+  for (size_t i = 0; i < backing.size(); ++i) {
+    backing[i].second->deferred = (i == pick) ? 0 : backing[i].second->deferred + 1;
+  }
+  *key_out = backing[pick].first;
+  return backing[pick].second;
+}
 
-    if (StaleEpoch(msg)) {
-      // The sender (or addressee) of this wire copy has died since it was
-      // emitted: the copy belongs to a previous incarnation and must not
-      // reach a handler.  Reliable copies carry no retransmission obligation
-      // here — the dead sender's unacked state died with it.
-      pk.epoch_rejected++;
-      GlobalPerfCounters().epoch_rejected_msgs++;
-      return true;
-    }
-    if (force_drop_reliable_ > 0 && reliable) {
-      force_drop_reliable_--;
-      pk.lost_transmissions++;
-      return true;  // entry stays unacked; the timer will retransmit
-    }
-    if (Partitioned(key.first, key.second)) {
-      if (reliable) {
-        pk.lost_transmissions++;  // waits in unacked until the partition heals
-      } else {
-        pk.dropped++;
-      }
-      return true;
-    }
-    auto handler = handlers_.find(msg.dst);
-    if (handler == handlers_.end()) {
-      if (reliable) {
-        // Destination crashed or never attached: hold for redelivery.  The
-        // unacked entry *is* the parked copy.
-        pk.parked++;
-      } else {
-        pk.dropped++;
-      }
-      return true;
-    }
-    if (reliable && reliable_loss_rate_ > 0 && rng_.Chance(reliable_loss_rate_)) {
-      pk.lost_transmissions++;
-      return true;
-    }
+bool Network::DeliverOne() {
+  ChannelKey key;
+  Channel* picked = PickDeliveryChannel(&key);
+  if (picked == nullptr) {
+    return false;
+  }
+  Channel& channel = *picked;
+  Message msg = std::move(channel.queue.front());
+  channel.queue.pop_front();
+  pending_--;
+  now_++;  // every consumed wire copy costs one tick of virtual time
+  auto& pk = stats_.For(msg.payload->kind());
+  bool reliable = msg.payload->reliable();
 
-    if (reliable) {
-      if (msg.rel_seq < channel.expected_rel_seq || channel.stashed.count(msg.rel_seq) > 0) {
-        // Duplicate (network duplication, retransmission after a lost ack, or
-        // a second copy of a stashed message): suppress, but re-ack so the
-        // sender stops retransmitting.
-        pk.dup_suppressed++;
-        AckReliable(&channel, msg.rel_seq);
-        return true;
-      }
-      AckReliable(&channel, msg.rel_seq);
-      if (msg.rel_seq > channel.expected_rel_seq) {
-        // Out of order (an earlier reliable payload is still in flight):
-        // stash until the gap fills.  Not a delivery yet.
-        channel.stashed.emplace(msg.rel_seq, std::move(msg));
-        return true;
-      }
-      channel.expected_rel_seq++;
-      // The gap this message filled may release stashed successors.  They were
-      // already received and acked, so they must NOT re-enter the queue (where
-      // loss faults apply); collect them now — before the handler runs and can
-      // mutate channel state — and deliver them inline, in order.
-      std::vector<Message> ready;
-      while (!channel.stashed.empty() &&
-             channel.stashed.begin()->first == channel.expected_rel_seq) {
-        ready.push_back(std::move(channel.stashed.begin()->second));
-        channel.stashed.erase(channel.stashed.begin());
-        channel.expected_rel_seq++;
-      }
-      pk.delivered++;
-      if (!Dispatch(handler->second, msg)) {
-        return true;  // destination crashed processing this delivery
-      }
-      for (Message& released : ready) {
-        auto h = handlers_.find(released.dst);
-        if (h == handlers_.end()) {
-          break;  // destination crashed mid-delivery; volatile state is gone
-        }
-        stats_.For(released.payload->kind()).delivered++;
-        if (!Dispatch(h->second, released)) {
-          return true;  // crashed on a released successor; the rest die too
-        }
-      }
-      return true;
-    }
-
-    pk.delivered++;
-    Dispatch(handler->second, msg);
+  if (StaleEpoch(msg)) {
+    // The sender (or addressee) of this wire copy has died since it was
+    // emitted: the copy belongs to a previous incarnation and must not
+    // reach a handler.  Reliable copies carry no retransmission obligation
+    // here — the dead sender's unacked state died with it.
+    pk.epoch_rejected++;
+    GlobalPerfCounters().epoch_rejected_msgs++;
     return true;
   }
-  return false;
+  if (force_drop_reliable_ > 0 && reliable) {
+    force_drop_reliable_--;
+    pk.lost_transmissions++;
+    return true;  // entry stays unacked; the timer will retransmit
+  }
+  if (Partitioned(key.first, key.second)) {
+    if (reliable) {
+      pk.lost_transmissions++;  // waits in unacked until the partition heals
+    } else {
+      pk.dropped++;
+    }
+    return true;
+  }
+  auto handler = handlers_.find(msg.dst);
+  if (handler == handlers_.end()) {
+    if (reliable) {
+      // Destination crashed or never attached: hold for redelivery.  The
+      // unacked entry *is* the parked copy; it is counted once per down
+      // period no matter how many wire copies arrive here.
+      CountParked(&channel, msg);
+    } else {
+      pk.dropped++;
+    }
+    return true;
+  }
+  if (reliable &&
+      DrawChance(DecisionPoint::kReliableLoss, reliable_loss_rate_, &rel_loss_rng_)) {
+    pk.lost_transmissions++;
+    return true;
+  }
+
+  if (reliable) {
+    if (msg.rel_seq < channel.expected_rel_seq || channel.stashed.count(msg.rel_seq) > 0) {
+      // Duplicate (network duplication, retransmission after a lost ack, or
+      // a second copy of a stashed message): suppress, but re-ack so the
+      // sender stops retransmitting.
+      pk.dup_suppressed++;
+      AckReliable(&channel, msg.rel_seq);
+      return true;
+    }
+    AckReliable(&channel, msg.rel_seq);
+    if (msg.rel_seq > channel.expected_rel_seq) {
+      // Out of order (an earlier reliable payload is still in flight):
+      // stash until the gap fills.  Not a delivery yet.
+      channel.stashed.emplace(msg.rel_seq, std::move(msg));
+      return true;
+    }
+    channel.expected_rel_seq++;
+    // The gap this message filled may release stashed successors.  They were
+    // already received and acked, so they must NOT re-enter the queue (where
+    // loss faults apply); collect them now — before the handler runs and can
+    // mutate channel state — and deliver them inline, in order.
+    std::vector<Message> ready;
+    while (!channel.stashed.empty() &&
+           channel.stashed.begin()->first == channel.expected_rel_seq) {
+      ready.push_back(std::move(channel.stashed.begin()->second));
+      channel.stashed.erase(channel.stashed.begin());
+      channel.expected_rel_seq++;
+    }
+    pk.delivered++;
+    if (!Dispatch(handler->second, msg)) {
+      return true;  // destination crashed processing this delivery
+    }
+    if (delivery_observer_) {
+      delivery_observer_(msg);
+    }
+    for (Message& released : ready) {
+      auto h = handlers_.find(released.dst);
+      if (h == handlers_.end()) {
+        break;  // destination crashed mid-delivery; volatile state is gone
+      }
+      stats_.For(released.payload->kind()).delivered++;
+      if (!Dispatch(h->second, released)) {
+        return true;  // crashed on a released successor; the rest die too
+      }
+      if (delivery_observer_) {
+        delivery_observer_(released);
+      }
+    }
+    return true;
+  }
+
+  pk.delivered++;
+  if (Dispatch(handler->second, msg) && delivery_observer_) {
+    delivery_observer_(msg);
+  }
+  return true;
 }
 
 bool Network::FireRetransmitTimers() {
@@ -472,6 +629,13 @@ void Network::RunUntilIdle() {
     }
     BMX_CHECK_GT(budget--, 0u) << "network failed to quiesce";
   }
+  // Quiescence contract: the loop above may only stop when every unacked
+  // reliable payload is addressed to a down or partitioned peer (parked).  A
+  // payload on a reachable channel always has a live retransmit timer, and
+  // FireRetransmitTimers advances the clock to it — returning with one still
+  // pending would silently drop the delivery guarantee.
+  BMX_CHECK_EQ(ReachableUnackedCount(), 0u)
+      << "RunUntilIdle returned with live retransmit obligations";
 }
 
 bool Network::Idle() const { return pending_ == 0; }
@@ -490,6 +654,16 @@ size_t Network::HeldCount() const {
   size_t n = 0;
   for (const auto& [key, channel] : channels_) {
     if (handlers_.count(key.second) == 0) {
+      n += channel.unacked.size();
+    }
+  }
+  return n;
+}
+
+size_t Network::ReachableUnackedCount() const {
+  size_t n = 0;
+  for (const auto& [key, channel] : channels_) {
+    if (ReachableChannel(key)) {
       n += channel.unacked.size();
     }
   }
@@ -554,8 +728,13 @@ void Network::DisconnectNode(NodeId node) {
       }
       pending_ -= channel.queue.size();
       channel.queue.clear();
-      for (const auto& [rel_seq, entry] : channel.unacked) {
-        stats_.For(entry.msg.payload->kind()).parked++;
+      for (auto& [rel_seq, entry] : channel.unacked) {
+        // Each payload parks once per down period; a copy that already hit
+        // the dead destination in DeliverOne was counted there.
+        if (!entry.parked_counted) {
+          entry.parked_counted = true;
+          stats_.For(entry.msg.payload->kind()).parked++;
+        }
       }
     } else {
       // A crash cannot recall wire copies the node already emitted: queued

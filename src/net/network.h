@@ -1,12 +1,21 @@
 // Deterministic simulated network: FIFO point-to-point channels, per-kind and
 // per-category statistics, seeded fault injection (loss, duplication,
-// reordering, transient partitions, node crashes), and a reliable-delivery
-// layer for payloads that declare reliable() == true.
+// reordering, transient partitions, node crashes), a reliable-delivery layer
+// for payloads that declare reliable() == true, and a pluggable delivery
+// scheduler with decision-stream record/replay for systematic schedule
+// exploration.
 //
 // The simulation is single-threaded and event-driven: Send() enqueues,
 // RunUntilIdle() drains every channel in a deterministic order, invoking the
 // destination node's handler for each delivery.  Handlers may send further
 // messages; delivery continues until the network is quiescent.
+//
+// Nondeterminism model (see src/net/scheduler.h and docs/PROTOCOLS.md §11):
+// every nondeterministic choice — which channel delivers next, each fault
+// draw, whether an armed crash-point fires — flows through one DecisionLog.
+// The default FifoScheduler preserves the historical drain order bit-for-bit;
+// alternative SchedulerPolicy implementations explore other legal
+// interleavings, and ReplayFrom(Trace) reproduces a recorded run exactly.
 //
 // Delivery classes (see docs/PROTOCOLS.md, "Delivery guarantees and fault
 // model"):
@@ -33,12 +42,14 @@
 #include <map>
 #include <memory>
 #include <set>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "src/common/rng.h"
 #include "src/common/types.h"
 #include "src/net/message.h"
+#include "src/net/scheduler.h"
 
 namespace bmx {
 
@@ -62,7 +73,10 @@ struct NetworkStats {
     uint64_t retransmits = 0;         // timer-driven resends of unacked payloads
     uint64_t dup_suppressed = 0;      // receiver-side dedup hits (reliable stream)
     uint64_t reordered = 0;           // sends perturbed by reordering injection
-    uint64_t parked = 0;              // reliable payloads held for a down node
+    // Reliable payloads held for a down node.  Counted once per payload per
+    // down period — never per wire copy, so a duplicated transmission that
+    // reaches a dead destination twice still parks a single payload.
+    uint64_t parked = 0;
     uint64_t redelivered = 0;         // parked payloads replayed on re-register
     // Wire copies rejected at delivery because an endpoint's incarnation
     // epoch advanced after they were emitted (crash recovery).
@@ -70,6 +84,8 @@ struct NetworkStats {
   };
   // Category is recorded from each payload at Send time (a single kind can
   // span categories, e.g. acquire requests issued for a baseline collector).
+  // sent/bytes count logical sends exactly once: retransmissions, duplicates
+  // and post-reconnect redeliveries only ever add to wire_bytes.
   struct PerCategory {
     uint64_t sent = 0;
     uint64_t bytes = 0;
@@ -94,11 +110,25 @@ struct NetworkStats {
   uint64_t TotalRedelivered() const;
   uint64_t SentInCategory(MsgCategory category) const;
   uint64_t BytesInCategory(MsgCategory category) const;
+
+  // Canonical per-kind traffic fingerprint, one line per kind with traffic:
+  // "Kind:sent:delivered:dropped:retransmits:dup_suppressed:bytes:wire\n".
+  // Bit-identical across a record/replay pair; the explorer and the replay-
+  // determinism tests pin it.
+  std::string Fingerprint() const;
 };
 
 class Network {
  public:
-  explicit Network(uint64_t seed = 1) : rng_(seed) {}
+  // The seed is a root: each independent random-decision family (loss,
+  // duplication, reorder, reliable loss, ack loss) draws from its own stream
+  // derived via DeriveStreamSeed, so configuring one fault knob never
+  // perturbs another family's sequence.
+  explicit Network(uint64_t seed = 1);
+  ~Network();
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
 
   // Attaches (or re-attaches) a node.  Re-registration after DisconnectNode
   // starts every channel touching the node from sequence number zero — a
@@ -111,10 +141,10 @@ class Network {
   // injection applies per delivery class (see header comment).
   void Send(NodeId src, NodeId dst, std::shared_ptr<const Payload> payload);
 
-  // Consumes the head of the next non-empty channel: delivers it, or spends
-  // it on a fault (loss, duplicate suppression, reassembly stash, parking).
-  // Each consumed message advances the virtual clock by one tick.  Returns
-  // false if nothing was pending.
+  // Consumes the head of the scheduler-chosen non-empty channel: delivers it,
+  // or spends it on a fault (loss, duplicate suppression, reassembly stash,
+  // parking).  Each consumed message advances the virtual clock by one tick.
+  // Returns false if nothing was pending.
   bool DeliverOne();
 
   // Retransmits every due unacked reliable payload whose destination is
@@ -128,7 +158,10 @@ class Network {
   // virtual clock past their backoff deadlines) until every reachable
   // destination has acked.  Guarded against runaway protocols by a delivery
   // budget.  Reliable traffic to disconnected or partitioned nodes stays
-  // parked and does not prevent quiescence.
+  // parked and does not prevent quiescence.  Postcondition (checked): no
+  // unacked payload with a live retransmit timer remains on a reachable
+  // channel — quiescence leaves pending state only where the peer is down or
+  // partitioned, bounded by the parked-payload buffers.
   void RunUntilIdle();
 
   bool Idle() const;
@@ -138,12 +171,43 @@ class Network {
   // Unacked reliable payloads whose destination is currently unregistered;
   // these are replayed when the destination re-registers.
   size_t HeldCount() const;
+  // Unacked reliable payloads whose destination is registered and not
+  // partitioned — payloads RunUntilIdle still owes a retransmission.  Zero at
+  // quiescence; the quiescence regression tests pin both edges.
+  size_t ReachableUnackedCount() const;
 
   // --- Virtual clock (ticks; one tick per consumed message). ---
   uint64_t now() const { return now_; }
   void AdvanceClock(uint64_t ticks) { now_ += ticks; }
   // Base retransmission timeout; attempt k backs off to base << k ticks.
   void set_retransmit_timeout(uint64_t ticks);
+
+  // --- Delivery scheduling & decision record/replay. ---
+  // Installs the policy choosing which channel delivers next.  The default
+  // FifoScheduler preserves the historical drain order bit-for-bit; nullptr
+  // restores it.
+  void set_scheduler(std::unique_ptr<SchedulerPolicy> scheduler);
+  SchedulerPolicy& scheduler() { return *scheduler_; }
+  const DecisionLog& decisions() const { return decisions_; }
+
+  // Starts recording every non-default decision into a trace.  Begin on a
+  // fresh network (before any Send) so trace indices cover the whole run.
+  void StartRecording();
+  // Stops recording and returns the trace (scenario/seed metadata filled by
+  // the caller; scheduler name is stamped here).
+  Trace TakeRecordedTrace();
+  // Replays a recorded decision stream: recorded indices override each
+  // choice, everything else takes the deterministic default, and no Rng or
+  // SchedulerPolicy is consulted.  A fresh network replaying the trace of a
+  // recorded run reproduces it bit-identically (same deliveries, same stats
+  // fingerprint).  Truncated or edited traces still replay deterministically.
+  void ReplayFrom(const Trace& trace);
+
+  // Invoked after every message handed to a handler (not for drops, parks or
+  // suppressed duplicates).  The explorer hooks invariant checks here.
+  void set_delivery_observer(std::function<void(const Message&)> observer) {
+    delivery_observer_ = std::move(observer);
+  }
 
   // --- Fault injection. ---
   // Loss probability applied to unreliable payloads (app-visible loss).
@@ -223,6 +287,11 @@ class Network {
     Message msg;
     uint32_t attempts = 0;  // retransmissions so far (not counting the send)
     uint64_t next_retry = 0;
+    // True once the payload was counted in the `parked` stat for the current
+    // down period of its destination; cleared when the payload is redelivered
+    // to a fresh incarnation.  Guards against double-counting a payload whose
+    // wire copies reach a dead destination more than once (duplication).
+    bool parked_counted = false;
   };
 
   struct Channel {
@@ -235,6 +304,9 @@ class Network {
     // Sender state: every un-acked reliable payload, keyed by rel_seq.  Also
     // serves as the redelivery queue while the destination is disconnected.
     std::map<uint64_t, RetxEntry> unacked;
+    // Consecutive scheduler picks this channel had a pending head but was
+    // passed over; DelayBoundedScheduler bounds reordering with it.
+    uint64_t deferred = 0;
   };
 
   void Enqueue(Channel* channel, Message msg);
@@ -249,8 +321,34 @@ class Network {
   // Delivers to a handler, converting a thrown NodeCrashSignal into a crash
   // via the crash listener.  Returns false if the handler crashed.
   bool Dispatch(MessageHandler* handler, const Message& msg);
+  // One fault draw routed through the decision stream: live/record modes
+  // consult the per-purpose rng, replay consults the trace.  A rate of zero
+  // consumes no decision index (the draw point does not exist).
+  bool DrawChance(DecisionPoint point, double rate, Rng* rng);
+  // Chooses the channel DeliverOne consumes from (scheduler + decision
+  // stream); returns nullptr when every queue is empty.
+  Channel* PickDeliveryChannel(ChannelKey* key_out);
+  // Marks the payload behind a wire copy as parked, exactly once per down
+  // period (see RetxEntry::parked_counted).
+  void CountParked(Channel* channel, const Message& msg);
+  // Routes armed crash-point firings through the decision stream while this
+  // network records or replays (see FaultInjector::set_fire_gate).
+  void AttachFaultGate();
+  void DetachFaultGate();
 
-  Rng rng_;
+  uint64_t root_seed_;
+  // One independent stream per random-decision family (satellite of the
+  // determinism model: toggling one fault knob never perturbs another
+  // family's draw sequence).
+  Rng loss_rng_;
+  Rng dup_rng_;
+  Rng reorder_rng_;
+  Rng rel_loss_rng_;
+  Rng ack_loss_rng_;
+  std::unique_ptr<SchedulerPolicy> scheduler_;
+  DecisionLog decisions_;
+  std::function<void(const Message&)> delivery_observer_;
+  bool fault_gate_attached_ = false;
   uint64_t now_ = 0;
   uint64_t retransmit_timeout_ = 8;
   double loss_rate_ = 0.0;

@@ -1,0 +1,150 @@
+#include "src/net/scheduler.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "src/common/check.h"
+
+namespace bmx {
+
+const char* DecisionPointName(DecisionPoint point) {
+  switch (point) {
+    case DecisionPoint::kDeliverPick:
+      return "deliver-pick";
+    case DecisionPoint::kUnreliableLoss:
+      return "unreliable-loss";
+    case DecisionPoint::kDuplication:
+      return "duplication";
+    case DecisionPoint::kReorder:
+      return "reorder";
+    case DecisionPoint::kReliableLoss:
+      return "reliable-loss";
+    case DecisionPoint::kAckLoss:
+      return "ack-loss";
+    case DecisionPoint::kFaultFire:
+      return "fault-fire";
+    case DecisionPoint::kMaxPoint:
+      break;
+  }
+  return "unknown";
+}
+
+DecisionPoint DecisionPointFromName(const std::string& name) {
+  for (size_t p = 0; p < static_cast<size_t>(DecisionPoint::kMaxPoint); ++p) {
+    if (name == DecisionPointName(static_cast<DecisionPoint>(p))) {
+      return static_cast<DecisionPoint>(p);
+    }
+  }
+  return DecisionPoint::kMaxPoint;
+}
+
+std::string Trace::Serialize() const {
+  std::ostringstream os;
+  os << "# bmx-trace v1\n";
+  os << "scenario: " << scenario << "\n";
+  os << "scheduler: " << scheduler << "\n";
+  os << "root_seed: " << root_seed << "\n";
+  os << "walk_seed: " << walk_seed << "\n";
+  os << "total_decisions: " << total_decisions << "\n";
+  for (const Decision& d : decisions) {
+    os << "decision: " << d.index << " " << DecisionPointName(d.point) << " " << d.value << "\n";
+  }
+  return os.str();
+}
+
+bool Trace::Parse(const std::string& text, Trace* out) {
+  BMX_CHECK(out != nullptr);
+  *out = Trace{};
+  std::istringstream is(text);
+  std::string line;
+  bool versioned = false;
+  while (std::getline(is, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    if (line[0] == '#') {
+      if (line.find("bmx-trace v1") != std::string::npos) {
+        versioned = true;
+      }
+      continue;
+    }
+    auto colon = line.find(": ");
+    if (colon == std::string::npos) {
+      return false;
+    }
+    std::string key = line.substr(0, colon);
+    std::string value = line.substr(colon + 2);
+    if (key == "scenario") {
+      out->scenario = value;
+    } else if (key == "scheduler") {
+      out->scheduler = value;
+    } else if (key == "root_seed") {
+      out->root_seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "walk_seed") {
+      out->walk_seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "total_decisions") {
+      out->total_decisions = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "decision") {
+      std::istringstream ds(value);
+      Decision d;
+      std::string point_name;
+      if (!(ds >> d.index >> point_name >> d.value)) {
+        return false;
+      }
+      d.point = DecisionPointFromName(point_name);
+      if (d.point == DecisionPoint::kMaxPoint) {
+        return false;
+      }
+      out->decisions.push_back(d);
+    } else {
+      return false;  // unknown key: refuse rather than misreplay
+    }
+  }
+  return versioned;
+}
+
+bool Trace::WriteFile(const std::string& path) const {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) {
+    return false;
+  }
+  f << Serialize();
+  return static_cast<bool>(f);
+}
+
+bool Trace::ReadFile(const std::string& path, Trace* out) {
+  std::ifstream f(path);
+  if (!f) {
+    return false;
+  }
+  std::ostringstream os;
+  os << f.rdbuf();
+  return Parse(os.str(), out);
+}
+
+void DecisionLog::StartRecording() {
+  BMX_CHECK(mode_ != Mode::kReplay) << "cannot record while replaying";
+  mode_ = Mode::kRecord;
+  trace_ = Trace{};
+}
+
+Trace DecisionLog::TakeTrace() {
+  BMX_CHECK(mode_ == Mode::kRecord);
+  mode_ = Mode::kLive;
+  trace_.total_decisions = next_index_;
+  Trace out;
+  out = trace_;
+  trace_ = Trace{};
+  return out;
+}
+
+void DecisionLog::StartReplay(const Trace& trace) {
+  mode_ = Mode::kReplay;
+  replay_.clear();
+  for (const Decision& d : trace.decisions) {
+    replay_[d.index] = d;
+  }
+}
+
+}  // namespace bmx

@@ -1,0 +1,224 @@
+// Schedule exploration plumbing for the simulated network.
+//
+// The network has exactly seven kinds of nondeterministic choice: which
+// channel's head message to consume next, the five fault draws (datagram
+// loss, duplication, reorder, reliable-transmission loss, ack loss), and
+// whether an armed crash-point schedule is allowed to fire.  Every one of
+// them is funneled through a single, totally ordered *decision stream*
+// (DecisionLog).  That gives three capabilities:
+//
+//   * Pluggable scheduling.  A SchedulerPolicy chooses the next delivery
+//     among the currently non-empty channels.  The FIFO policy reproduces
+//     the historical drain order bit-for-bit; RandomWalkScheduler and
+//     DelayBoundedScheduler explore alternative legal interleavings.
+//   * Record.  A run can record every decision whose outcome differed from
+//     the deterministic default (FIFO pick, no fault, fault fires) as a
+//     sparse Trace: (decision index, decision point, value) triples.
+//   * Replay.  Feeding a Trace back into a fresh network reproduces the
+//     recorded run bit-identically: recorded indices override the choice,
+//     every other decision takes the default, and no Rng is consulted at
+//     all.  Truncated or edited traces still replay deterministically (the
+//     tail is all-defaults), which is what makes delta-debugging shrinks of
+//     a failing schedule possible.
+//
+// See docs/PROTOCOLS.md §11 for the trace file format and the compatibility
+// guarantee of the FIFO default.
+
+#ifndef SRC_NET_SCHEDULER_H_
+#define SRC_NET_SCHEDULER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/types.h"
+#include "src/net/message.h"
+
+namespace bmx {
+
+// One class of nondeterministic choice in a network run.
+enum class DecisionPoint : uint8_t {
+  kDeliverPick = 0,   // value = index into the candidate channel list
+  kUnreliableLoss,    // value = 1 when the datagram is lost
+  kDuplication,       // value = 1 when a second wire copy is injected
+  kReorder,           // value = 1 when the send is enqueued one slot early
+  kReliableLoss,      // value = 1 when the reliable transmission is lost
+  kAckLoss,           // value = 1 when the transport ack is lost
+  kFaultFire,         // value = 1 when an armed crash-point fires (default)
+  kMaxPoint,          // sentinel, keep last
+};
+
+const char* DecisionPointName(DecisionPoint point);
+// Reverse lookup for trace parsing; returns kMaxPoint for unknown names.
+DecisionPoint DecisionPointFromName(const std::string& name);
+
+// One recorded non-default choice.
+struct Decision {
+  uint64_t index = 0;  // position in the run's total decision order
+  DecisionPoint point = DecisionPoint::kMaxPoint;
+  uint64_t value = 0;
+
+  bool operator==(const Decision& other) const {
+    return index == other.index && point == other.point && value == other.value;
+  }
+};
+
+// A complete, replayable description of one run's nondeterminism: the sparse
+// set of decisions that differed from the deterministic default, plus enough
+// metadata to reconstruct the run (scenario, scheduler, seeds).  Defaults are
+// FIFO pick / no fault / armed-fault-fires, so an EMPTY trace replays the
+// plain FIFO fault-free schedule.
+struct Trace {
+  uint64_t root_seed = 0;       // cluster/network root seed of the run
+  uint64_t walk_seed = 0;       // exploration walk seed (scheduler stream)
+  std::string scenario;         // scenario closure name
+  std::string scheduler;        // policy that produced the recording
+  uint64_t total_decisions = 0; // decision-stream length of the recorded run
+  std::vector<Decision> decisions;  // sorted by index, non-default only
+
+  std::string Serialize() const;
+  static bool Parse(const std::string& text, Trace* out);
+  bool WriteFile(const std::string& path) const;
+  static bool ReadFile(const std::string& path, Trace* out);
+};
+
+// What a SchedulerPolicy sees of one deliverable channel: the head message's
+// routing and kind, plus how long the channel has been passed over.
+struct ChannelCandidate {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  MsgKind head_kind = MsgKind::kMaxKind;
+  size_t queue_len = 0;
+  // Consecutive delivery picks this channel had a pending head but was not
+  // chosen.  DelayBoundedScheduler uses it to bound reordering.
+  uint64_t deferred = 0;
+};
+
+// Chooses which candidate channel's head message the network consumes next.
+// Candidates are listed in the network's deterministic channel order and are
+// never empty when Pick is called.
+class SchedulerPolicy {
+ public:
+  virtual ~SchedulerPolicy() = default;
+  virtual size_t Pick(const std::vector<ChannelCandidate>& candidates) = 0;
+  virtual const char* name() const = 0;
+  // FIFO declares itself so the network can keep its zero-overhead fast path
+  // when no recording/replay is active.
+  virtual bool IsFifo() const { return false; }
+};
+
+// The historical drain order: always the first non-empty channel in the
+// network's deterministic channel order.  Guaranteed to reproduce pre-policy
+// traffic bit-identically (pinned by tests/integration/traffic_fingerprint).
+class FifoScheduler : public SchedulerPolicy {
+ public:
+  size_t Pick(const std::vector<ChannelCandidate>&) override { return 0; }
+  const char* name() const override { return "fifo"; }
+  bool IsFifo() const override { return true; }
+};
+
+// Random-walk exploration.  With probability `deviation_rate` the pick is
+// uniform over all candidates; otherwise it follows FIFO.  Sparse deviations
+// (the default) keep recorded traces short, which is what lets the shrinker
+// reduce a failing schedule to a handful of decisions; deviation_rate = 1.0
+// gives the classic uniform random walk.
+class RandomWalkScheduler : public SchedulerPolicy {
+ public:
+  explicit RandomWalkScheduler(uint64_t seed, double deviation_rate = 1.0)
+      : rng_(seed), deviation_rate_(deviation_rate) {}
+  size_t Pick(const std::vector<ChannelCandidate>& candidates) override {
+    if (deviation_rate_ < 1.0 && !rng_.Chance(deviation_rate_)) {
+      return 0;
+    }
+    return static_cast<size_t>(rng_.Below(candidates.size()));
+  }
+  const char* name() const override { return "random-walk"; }
+
+ private:
+  Rng rng_;
+  double deviation_rate_;
+};
+
+// Bounded reordering: a channel can be passed over at most `delay_bound`
+// consecutive picks; once its deferral reaches the bound it must be chosen
+// (the first such channel wins, restoring FIFO among the overdue).  Models a
+// network where any message can overtake at most delay_bound others.
+class DelayBoundedScheduler : public SchedulerPolicy {
+ public:
+  DelayBoundedScheduler(uint64_t seed, uint64_t delay_bound)
+      : rng_(seed), delay_bound_(delay_bound) {}
+  size_t Pick(const std::vector<ChannelCandidate>& candidates) override {
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (candidates[i].deferred >= delay_bound_) {
+        return i;
+      }
+    }
+    return static_cast<size_t>(rng_.Below(candidates.size()));
+  }
+  const char* name() const override { return "delay-bounded"; }
+  uint64_t delay_bound() const { return delay_bound_; }
+
+ private:
+  Rng rng_;
+  uint64_t delay_bound_;
+};
+
+// The single totally ordered stream every nondeterministic choice flows
+// through.  Three modes:
+//
+//   kLive    — choices are computed live (policy / Rng); nothing is stored.
+//   kRecord  — choices are computed live; non-default outcomes are appended
+//              to the trace under the current decision index.
+//   kReplay  — choices come from the trace; absent indices take the default
+//              and the live generator is never consulted (no Rng draws).
+class DecisionLog {
+ public:
+  enum class Mode : uint8_t { kLive, kRecord, kReplay };
+
+  Mode mode() const { return mode_; }
+  uint64_t next_index() const { return next_index_; }
+
+  // Starts recording into a fresh trace (metadata is the caller's to fill
+  // via mutable_trace()).  Decision indices continue from the current count;
+  // record from a fresh network for index-0-based traces.
+  void StartRecording();
+  // Stops recording and returns the accumulated trace.
+  Trace TakeTrace();
+  Trace* mutable_trace() { return &trace_; }
+
+  // Enters replay mode over `trace`.  Decisions beyond the trace's recorded
+  // indices take defaults, so truncated/edited traces replay fine.
+  void StartReplay(const Trace& trace);
+
+  // Resolves one decision.  `live_value` is only invoked in kLive/kRecord
+  // modes — replay must not consume generator state.
+  template <typename Fn>
+  uint64_t Resolve(DecisionPoint point, uint64_t default_value, Fn&& live_value) {
+    uint64_t index = next_index_++;
+    if (mode_ == Mode::kReplay) {
+      auto it = replay_.find(index);
+      if (it == replay_.end()) {
+        return default_value;
+      }
+      return it->second.value;
+    }
+    uint64_t value = live_value();
+    if (mode_ == Mode::kRecord && value != default_value) {
+      trace_.decisions.push_back(Decision{index, point, value});
+    }
+    return value;
+  }
+
+ private:
+  Mode mode_ = Mode::kLive;
+  uint64_t next_index_ = 0;
+  Trace trace_;
+  std::map<uint64_t, Decision> replay_;  // index → recorded decision
+};
+
+}  // namespace bmx
+
+#endif  // SRC_NET_SCHEDULER_H_

@@ -41,25 +41,27 @@ std::vector<std::string> InvariantOracle::Check() {
   return out;
 }
 
-void InvariantOracle::CheckTokens(std::vector<std::string>* out) {
-  // Gather every live node's token table, grouped by oid.
+std::vector<std::string> InvariantOracle::CheckStable() {
+  std::vector<std::string> out;
+  CheckTokenUniqueness(&out);
+  return out;
+}
+
+void InvariantOracle::CheckTokenUniqueness(std::vector<std::string>* out) {
+  // (1) token uniqueness.  This family holds at every instant of a correct
+  // protocol — a granter always sheds its token before the grant leaves — so
+  // it is safe to evaluate between arbitrary deliveries (CheckStable).
   struct Holder {
     NodeId node = kInvalidNode;
     TokenSnapshot snap;
   };
   std::map<Oid, std::vector<Holder>> by_oid;
-  std::map<Oid, std::set<NodeId>> copyset_union;
   for (NodeId id : LiveNodes()) {
     for (const TokenSnapshot& snap : cluster_->node(id).dsm().SnapshotTokens()) {
       by_oid[snap.oid].push_back({id, snap});
-      for (NodeId member : snap.copyset) {
-        copyset_union[snap.oid].insert(member);
-      }
     }
   }
-
   for (const auto& [oid, holders] : by_oid) {
-    // (1) token uniqueness.
     std::vector<NodeId> owners;
     std::vector<NodeId> writers;
     for (const Holder& h : holders) {
@@ -87,7 +89,29 @@ void InvariantOracle::CheckTokens(std::vector<std::string>* out) {
         }
       }
     }
+  }
+}
 
+void InvariantOracle::CheckTokens(std::vector<std::string>* out) {
+  CheckTokenUniqueness(out);
+  // Gather every live node's token table, grouped by oid, for the
+  // quiescence-only families (2) and (3).
+  struct Holder {
+    NodeId node = kInvalidNode;
+    TokenSnapshot snap;
+  };
+  std::map<Oid, std::vector<Holder>> by_oid;
+  std::map<Oid, std::set<NodeId>> copyset_union;
+  for (NodeId id : LiveNodes()) {
+    for (const TokenSnapshot& snap : cluster_->node(id).dsm().SnapshotTokens()) {
+      by_oid[snap.oid].push_back({id, snap});
+      for (NodeId member : snap.copyset) {
+        copyset_union[snap.oid].insert(member);
+      }
+    }
+  }
+
+  for (const auto& [oid, holders] : by_oid) {
     // (2) ownership-of-record is real.
     NodeId record = cluster_->directory().OwnerOf(oid);
     if (record != kInvalidNode && cluster_->IsAlive(record)) {

@@ -38,8 +38,18 @@ class InvariantOracle {
   // Runs every invariant family; returns all violations found (empty = ok).
   std::vector<std::string> Check();
 
+  // The subset of invariants that must hold at EVERY instant, not just at
+  // quiescence: token uniqueness (1).  Families 2–5 have legal transient
+  // windows while protocol messages are in flight (the granter clears its
+  // owner bit before the grant reaches the requester's directory; a stub
+  // exists before its scion message arrives), so the schedule explorer checks
+  // this stable core after every delivery and the full set only at
+  // quiescence.
+  std::vector<std::string> CheckStable();
+
  private:
   void CheckTokens(std::vector<std::string>* out);
+  void CheckTokenUniqueness(std::vector<std::string>* out);
   void CheckSsps(std::vector<std::string>* out);
   void CheckReachability(std::vector<std::string>* out);
 

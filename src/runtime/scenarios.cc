@@ -1,0 +1,162 @@
+#include "src/runtime/scenarios.h"
+
+#include <memory>
+
+#include "src/runtime/mutator.h"
+
+namespace bmx {
+
+namespace {
+
+std::unique_ptr<Cluster> ThreeNodes(uint64_t root_seed) {
+  return std::make_unique<Cluster>(ClusterOptions{.num_nodes = 3, .seed = root_seed});
+}
+
+Oid OidAt(Node& node, Gaddr addr) {
+  return node.store().HeaderOf(node.dsm().ResolveAddr(addr))->oid;
+}
+
+// Figure 1: bunch B1 on N1/N2, bunch B2 on N3 only; the inter-bunch reference
+// O3→O5 is created at N2, then O3's write token moves to N1, building the
+// intra-bunch SSP.  Collections at N2 and N3 must reclaim nothing.
+void RunFig1(Cluster& c) {
+  Mutator n1(&c.node(0));
+  Mutator n2(&c.node(1));
+  Mutator n3(&c.node(2));
+  BunchId b1 = c.CreateBunch(1);
+  BunchId b2 = c.CreateBunch(2);
+  Gaddr o5 = n3.Alloc(b2, 1);
+  n3.AddRoot(o5);
+  Gaddr o3 = n2.Alloc(b1, 2);
+  n2.WriteRef(o3, 0, o5);
+  c.Pump();
+  if (n1.AcquireWrite(o3)) {
+    n1.Release(o3);
+    n1.AddRoot(o3);
+  }
+  c.Pump();
+  c.node(1).gc().CollectBunch(b1);
+  c.Pump();
+  c.node(2).gc().CollectBunch(b2);
+  c.Pump();
+}
+
+// Figure 2: one object's write token migrating around three nodes, each
+// incarnation writing through it.
+void RunFig2(Cluster& c) {
+  Mutator m0(&c.node(0));
+  Mutator m1(&c.node(1));
+  Mutator m2(&c.node(2));
+  BunchId b = c.CreateBunch(0);
+  Gaddr obj = m0.Alloc(b, 2);
+  m0.AddRoot(obj);
+  c.Pump();
+  Mutator* ring[3] = {&m0, &m1, &m2};
+  for (uint64_t round = 1; round <= 3; ++round) {
+    Mutator& m = *ring[round % 3];
+    if (m.AcquireWrite(obj)) {
+      m.WriteWord(obj, 1, round);
+      m.Release(obj);
+    }
+    c.Pump();
+  }
+}
+
+// Figure 3: two readers replicate an object, then the owner re-acquires the
+// write token, fanning out invalidations whose acks race back.
+void RunFig3(Cluster& c) {
+  Mutator m0(&c.node(0));
+  Mutator m1(&c.node(1));
+  Mutator m2(&c.node(2));
+  BunchId b = c.CreateBunch(0);
+  Gaddr a = m0.Alloc(b, 1);
+  m0.AddRoot(a);
+  c.Pump();
+  if (m1.AcquireRead(a)) {
+    m1.Release(a);
+  }
+  if (m2.AcquireRead(a)) {
+    m2.Release(a);
+  }
+  c.Pump();
+  if (m0.AcquireWrite(a)) {
+    m0.WriteWord(a, 0, 7);
+    m0.Release(a);
+  }
+  c.Pump();
+}
+
+// Figure 4: allocate a two-object chain, replicate the head, unlink the tail
+// and collect — reclamation must not race the replica's invalidation.
+void RunFig4(Cluster& c) {
+  Mutator m0(&c.node(0));
+  Mutator m1(&c.node(1));
+  BunchId b = c.CreateBunch(0);
+  Gaddr head = m0.Alloc(b, 2);
+  m0.AddRoot(head);
+  Gaddr tail = m0.Alloc(b, 2);
+  m0.WriteRef(head, 0, tail);
+  c.Pump();
+  if (m1.AcquireRead(head)) {
+    m1.Release(head);
+  }
+  c.Pump();
+  if (m0.AcquireWrite(head)) {
+    m0.WriteRef(head, 0, kNullAddr);
+    m0.Release(head);
+  }
+  c.node(0).gc().CollectBunch(b);
+  c.Pump();
+}
+
+}  // namespace
+
+std::vector<ExplorerScenario> StandardScenarios() {
+  return {
+      {"fig1-ssp-chain", ThreeNodes, RunFig1},
+      {"fig2-token-migration", ThreeNodes, RunFig2},
+      {"fig3-invalidate-fanout", ThreeNodes, RunFig3},
+      {"fig4-reclaim-churn", ThreeNodes, RunFig4},
+  };
+}
+
+ExplorerScenario CanaryReorderScenario() {
+  ExplorerScenario scenario;
+  scenario.name = "canary-invalidate-reorder";
+  scenario.make = ThreeNodes;
+  scenario.run = [](Cluster& c) {
+    Mutator m0(&c.node(0));
+    Mutator m1(&c.node(1));
+    Mutator m2(&c.node(2));
+    BunchId b = c.CreateBunch(0);
+    // The victim: owned by node 1 the whole run.  The canary corrupts node
+    // 0's token table into claiming it, so there must be a legitimate owner
+    // for the uniqueness check to collide with.
+    Gaddr victim = m1.Alloc(b, 1);
+    m1.AddRoot(victim);
+    // The contended object: owned by node 0, replicated to nodes 1 and 2.
+    Gaddr a = m0.Alloc(b, 1);
+    m0.AddRoot(a);
+    c.Pump();
+    if (m1.AcquireRead(a)) {
+      m1.Release(a);
+    }
+    if (m2.AcquireRead(a)) {
+      m2.Release(a);
+    }
+    c.Pump();
+    c.node(0).dsm().PlantCanaryReorderBugForTesting(OidAt(c.node(1), victim));
+    // Re-acquiring the write token invalidates both replicas; the two acks
+    // race back on different channels.  FIFO delivers them src-ascending
+    // (channel (1,0) precedes (2,0)); any schedule that inverts them trips
+    // the canary.
+    if (m0.AcquireWrite(a)) {
+      m0.WriteWord(a, 0, 7);
+      m0.Release(a);
+    }
+    c.Pump();
+  };
+  return scenario;
+}
+
+}  // namespace bmx

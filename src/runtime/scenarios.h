@@ -1,0 +1,34 @@
+// Canonical scenario closures for the schedule explorer: the paper's
+// figure 1–4 situations, reduced to self-contained workloads the Explorer can
+// re-execute under arbitrary delivery schedules.  Each closure builds its own
+// cluster and tolerates adversarial interleavings (a failed acquire skips the
+// dependent operations instead of faulting), so every schedule the explorer
+// can produce is a legal run to check invariants over.
+
+#ifndef SRC_RUNTIME_SCENARIOS_H_
+#define SRC_RUNTIME_SCENARIOS_H_
+
+#include <vector>
+
+#include "src/runtime/explorer.h"
+
+namespace bmx {
+
+// The fig. 1–4 closures, in figure order:
+//   fig1-ssp-chain          — inter+intra SSP chain kept alive across bunches
+//   fig2-token-migration    — a write token circulating over three nodes
+//   fig3-invalidate-fanout  — one writer invalidating two replica readers
+//   fig4-reclaim-churn      — allocation, unlinking and bunch collection
+std::vector<ExplorerScenario> StandardScenarios();
+
+// The planted-ordering-bug workload (see
+// DsmNode::PlantCanaryReorderBugForTesting): fig3's invalidation fan-out with
+// the canary armed at the writer.  Under FIFO the acks converge in increasing
+// src order and nothing happens; exploratory schedules can invert them, which
+// corrupts the token table into a uniqueness violation the oracle flags.
+// Used by tests and CI to prove the find→record→shrink→replay pipeline works.
+ExplorerScenario CanaryReorderScenario();
+
+}  // namespace bmx
+
+#endif  // SRC_RUNTIME_SCENARIOS_H_

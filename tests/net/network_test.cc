@@ -393,5 +393,109 @@ TEST(Network, PendingCountTracksQueue) {
   EXPECT_EQ(net.PendingCount(), 0u);
 }
 
+// --- Quiescence regressions: RunUntilIdle must drain every live retransmit
+// --- timer toward a reachable peer, yet terminate when the peer is down.
+
+TEST(Network, QuiescencePumpsLossyReachableChannelToCompletion) {
+  // Several forced losses plus lossy acks: the payloads are still owed to a
+  // reachable peer, so RunUntilIdle must keep firing timers until every one
+  // is delivered and acked — returning early would strand live timers.
+  Network net(5);
+  Recorder r;
+  net.RegisterNode(1, &r);
+  net.set_ack_loss_rate(0.5);
+  net.ForceDropReliableTransmissions(3);
+  for (uint64_t i = 0; i < 4; ++i) {
+    auto p = std::make_shared<ReliableProbe>();
+    p->value = i;
+    net.Send(0, 1, std::move(p));
+  }
+  net.RunUntilIdle();
+  EXPECT_EQ(r.received.size(), 4u);
+  EXPECT_EQ(net.UnackedCount(), 0u);
+  EXPECT_EQ(net.ReachableUnackedCount(), 0u);
+}
+
+TEST(Network, QuiescenceDuringPartitionParksInsteadOfSpinning) {
+  Network net(5);
+  Recorder r;
+  net.RegisterNode(1, &r);
+  net.PartitionNodes(0, 1);
+  net.Send(0, 1, std::make_shared<ReliableProbe>());
+  // The peer is unreachable: RunUntilIdle must terminate (not retransmit
+  // forever into the partition) with the payload parked, not lost.
+  net.RunUntilIdle();
+  EXPECT_EQ(r.received.size(), 0u);
+  EXPECT_EQ(net.UnackedCount(), 1u);
+  EXPECT_EQ(net.ReachableUnackedCount(), 0u);
+  // Healing re-arms the timer; the very next pump delivers.
+  net.HealPartition(0, 1);
+  EXPECT_EQ(net.ReachableUnackedCount(), 1u);
+  net.RunUntilIdle();
+  EXPECT_EQ(r.received.size(), 1u);
+  EXPECT_EQ(net.UnackedCount(), 0u);
+}
+
+TEST(Network, QuiescenceWithPermanentlyDownPeerTerminates) {
+  Network net(5);
+  net.Send(0, 9, std::make_shared<ReliableProbe>());  // node 9 never attaches
+  net.RunUntilIdle();
+  EXPECT_EQ(net.HeldCount(), 1u);  // parked for a future incarnation
+  EXPECT_EQ(net.ReachableUnackedCount(), 0u);
+}
+
+// --- Stats regressions: parked counts payloads (not wire copies), and the
+// --- per-category ledger counts each logical send exactly once.
+
+TEST(Network, ParkedCountsPayloadsNotWireCopies) {
+  // Duplication gives the parked payload two wire copies; both reach the
+  // missing destination, but the payload parks (and counts) once.
+  Network net(5);
+  net.set_duplication_rate(1.0);
+  net.Send(0, 9, std::make_shared<ReliableProbe>());
+  net.RunUntilIdle();
+  EXPECT_EQ(net.stats().For(MsgKind::kAddressChange).duplicated, 1u);
+  EXPECT_EQ(net.stats().For(MsgKind::kAddressChange).parked, 1u);
+  EXPECT_EQ(net.UnackedCount(), 1u);
+}
+
+TEST(Network, ParkedCountsOncePerDownPeriod) {
+  Network net(5);
+  Recorder r;
+  net.RegisterNode(1, &r);
+  net.Send(0, 1, std::make_shared<ReliableProbe>());
+  net.DisconnectNode(1);  // parks the undelivered payload: 1
+  EXPECT_EQ(net.stats().For(MsgKind::kAddressChange).parked, 1u);
+  // A wire copy arriving at the dead destination must not re-count it.
+  net.RunUntilIdle();
+  EXPECT_EQ(net.stats().For(MsgKind::kAddressChange).parked, 1u);
+  // The next incarnation's redelivery resets the flag: a second down period
+  // parks (and counts) the payload again.
+  Recorder reborn;
+  net.RegisterNode(1, &reborn);
+  net.DisconnectNode(1);
+  EXPECT_EQ(net.stats().For(MsgKind::kAddressChange).parked, 2u);
+  EXPECT_EQ(net.stats().For(MsgKind::kAddressChange).redelivered, 1u);
+}
+
+TEST(Network, CategoryLedgerCountsLogicalSendsOnceAcrossParkAndRedeliver) {
+  Network net(5);
+  net.Send(0, 9, std::make_shared<ReliableProbe>());
+  net.RunUntilIdle();
+  EXPECT_EQ(net.stats().SentInCategory(MsgCategory::kGcBackground), 1u);
+  EXPECT_EQ(net.stats().BytesInCategory(MsgCategory::kGcBackground), 8u);
+
+  Recorder r;
+  net.RegisterNode(9, &r);  // replays the parked payload
+  net.RunUntilIdle();
+  EXPECT_EQ(r.received.size(), 1u);
+  EXPECT_EQ(net.stats().For(MsgKind::kAddressChange).redelivered, 1u);
+  // The redelivery is wire traffic, not a new logical send: the category
+  // ledger still shows exactly one send, while wire bytes cover both copies.
+  EXPECT_EQ(net.stats().SentInCategory(MsgCategory::kGcBackground), 1u);
+  EXPECT_EQ(net.stats().BytesInCategory(MsgCategory::kGcBackground), 8u);
+  EXPECT_GE(net.stats().ForCategory(MsgCategory::kGcBackground).wire_bytes, 16u);
+}
+
 }  // namespace
 }  // namespace bmx

@@ -1,0 +1,319 @@
+// Tests for the pluggable delivery scheduler, the decision stream, trace
+// record/replay, per-purpose RNG stream splitting, and the fault-injector
+// fire gate.
+
+#include "src/net/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/common/fault_injector.h"
+#include "src/net/network.h"
+
+namespace bmx {
+namespace {
+
+struct ReliableProbe : public Payload {
+  uint64_t value = 0;
+  MsgKind kind() const override { return MsgKind::kAddressChange; }
+  MsgCategory category() const override { return MsgCategory::kGcBackground; }
+  size_t WireSize() const override { return 8; }
+};
+
+struct UnreliableProbe : public Payload {
+  uint64_t value = 0;
+  MsgKind kind() const override { return MsgKind::kReachabilityTable; }
+  MsgCategory category() const override { return MsgCategory::kGcBackground; }
+  size_t WireSize() const override { return 8; }
+  bool reliable() const override { return false; }
+};
+
+class Recorder : public MessageHandler {
+ public:
+  void HandleMessage(const Message& msg) override { received.push_back(msg); }
+  std::vector<Message> received;
+};
+
+// (src, seq) identity of every delivery at one receiver, in arrival order.
+std::vector<std::pair<NodeId, uint64_t>> ArrivalOrder(const Recorder& r) {
+  std::vector<std::pair<NodeId, uint64_t>> order;
+  for (const Message& m : r.received) {
+    order.emplace_back(m.src, m.seq);
+  }
+  return order;
+}
+
+TEST(Trace, SerializeParseRoundtrip) {
+  Trace t;
+  t.root_seed = 42;
+  t.walk_seed = 7;
+  t.scenario = "fig3-invalidate-fanout";
+  t.scheduler = "random-walk";
+  t.total_decisions = 90;
+  t.decisions.push_back(Decision{3, DecisionPoint::kDeliverPick, 2});
+  t.decisions.push_back(Decision{17, DecisionPoint::kUnreliableLoss, 1});
+  t.decisions.push_back(Decision{55, DecisionPoint::kFaultFire, 0});
+
+  Trace back;
+  ASSERT_TRUE(Trace::Parse(t.Serialize(), &back));
+  EXPECT_EQ(back.root_seed, t.root_seed);
+  EXPECT_EQ(back.walk_seed, t.walk_seed);
+  EXPECT_EQ(back.scenario, t.scenario);
+  EXPECT_EQ(back.scheduler, t.scheduler);
+  EXPECT_EQ(back.total_decisions, t.total_decisions);
+  ASSERT_EQ(back.decisions.size(), t.decisions.size());
+  for (size_t i = 0; i < t.decisions.size(); ++i) {
+    EXPECT_EQ(back.decisions[i], t.decisions[i]);
+  }
+}
+
+TEST(Trace, ParseRejectsUnversionedAndUnknown) {
+  Trace out;
+  EXPECT_FALSE(Trace::Parse("root_seed: 1\n", &out));  // no version comment
+  EXPECT_FALSE(Trace::Parse("# bmx-trace v1\nwhatever: 3\n", &out));
+  EXPECT_FALSE(Trace::Parse("# bmx-trace v1\ndecision: 0 bogus-point 1\n", &out));
+  EXPECT_TRUE(Trace::Parse("# bmx-trace v1\nroot_seed: 9\n", &out));
+  EXPECT_EQ(out.root_seed, 9u);
+}
+
+TEST(DecisionPointNames, RoundtripEveryPoint) {
+  for (size_t p = 0; p < static_cast<size_t>(DecisionPoint::kMaxPoint); ++p) {
+    auto point = static_cast<DecisionPoint>(p);
+    EXPECT_EQ(DecisionPointFromName(DecisionPointName(point)), point);
+  }
+  EXPECT_EQ(DecisionPointFromName("not-a-point"), DecisionPoint::kMaxPoint);
+}
+
+// Multi-channel traffic shape shared by the ordering tests: three senders
+// interleave reliable payloads toward one receiver.
+void SendCrossTraffic(Network* net) {
+  for (uint64_t round = 0; round < 5; ++round) {
+    for (NodeId src = 1; src <= 3; ++src) {
+      auto p = std::make_shared<ReliableProbe>();
+      p->value = round * 10 + src;
+      net->Send(src, 0, std::move(p));
+    }
+  }
+}
+
+// The explicit FifoScheduler (slow path, with recording active) must
+// reproduce the live FIFO fast path bit-for-bit, and — being all defaults —
+// record an empty trace.
+TEST(Scheduler, ExplicitFifoMatchesLegacyOrderAndRecordsNothing) {
+  Recorder fast;
+  Network live(7);
+  live.RegisterNode(0, &fast);
+  SendCrossTraffic(&live);
+  live.RunUntilIdle();
+
+  Recorder slow;
+  Network recording(7);
+  recording.RegisterNode(0, &slow);
+  recording.set_scheduler(std::make_unique<FifoScheduler>());
+  recording.StartRecording();
+  SendCrossTraffic(&recording);
+  recording.RunUntilIdle();
+  Trace trace = recording.TakeRecordedTrace();
+
+  EXPECT_EQ(ArrivalOrder(fast), ArrivalOrder(slow));
+  EXPECT_EQ(live.stats().Fingerprint(), recording.stats().Fingerprint());
+  EXPECT_TRUE(trace.decisions.empty()) << "FIFO picks are the default and must not be recorded";
+  EXPECT_EQ(trace.scheduler, "fifo");
+}
+
+TEST(Scheduler, RandomWalkIsDeterministicPerSeedAndVariesAcrossSeeds) {
+  auto run = [](uint64_t walk_seed) {
+    Recorder r;
+    Network net(7);
+    net.RegisterNode(0, &r);
+    net.set_scheduler(std::make_unique<RandomWalkScheduler>(walk_seed));
+    net.StartRecording();
+    SendCrossTraffic(&net);
+    net.RunUntilIdle();
+    net.TakeRecordedTrace();
+    return ArrivalOrder(r);
+  };
+  EXPECT_EQ(run(11), run(11));
+  std::vector<std::vector<std::pair<NodeId, uint64_t>>> orders;
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    orders.push_back(run(seed));
+  }
+  bool any_different = false;
+  for (size_t i = 1; i < orders.size(); ++i) {
+    any_different |= orders[i] != orders[0];
+  }
+  EXPECT_TRUE(any_different) << "8 random walks all produced the FIFO order";
+}
+
+TEST(Scheduler, DelayBoundForcesOverdueChannel) {
+  DelayBoundedScheduler sched(3, 2);
+  std::vector<ChannelCandidate> candidates(3);
+  candidates[0].deferred = 0;
+  candidates[1].deferred = 2;  // at the bound: must be chosen
+  candidates[2].deferred = 5;  // also overdue, but [1] comes first
+  EXPECT_EQ(sched.Pick(candidates), 1u);
+  candidates[1].deferred = 1;
+  candidates[2].deferred = 2;
+  EXPECT_EQ(sched.Pick(candidates), 2u);
+}
+
+TEST(Scheduler, PerChannelFifoSurvivesAnySchedule) {
+  // Whatever interleaving the walk picks across channels, each channel's own
+  // reliable stream must still arrive in send order.
+  for (uint64_t walk_seed = 1; walk_seed <= 4; ++walk_seed) {
+    Recorder r;
+    Network net(7);
+    net.RegisterNode(0, &r);
+    net.set_scheduler(std::make_unique<RandomWalkScheduler>(walk_seed));
+    SendCrossTraffic(&net);
+    net.RunUntilIdle();
+    ASSERT_EQ(r.received.size(), 15u);
+    std::map<NodeId, uint64_t> next_value;
+    for (NodeId src = 1; src <= 3; ++src) {
+      next_value[src] = src;
+    }
+    for (const Message& m : r.received) {
+      EXPECT_EQ(static_cast<const ReliableProbe&>(*m.payload).value, next_value[m.src]);
+      next_value[m.src] += 10;
+    }
+  }
+}
+
+// Record → replay must be bit-identical even with every fault knob active:
+// same arrival order, same stats fingerprint, and the replay consults no RNG
+// (a different replay-network seed changes nothing).
+TEST(Scheduler, ReplayReproducesFaultyRunBitIdentically) {
+  auto configure = [](Network* net) {
+    net->set_loss_rate(0.3);
+    net->set_duplication_rate(0.3);
+    net->set_reorder_rate(0.3);
+    net->set_reliable_loss_rate(0.2);
+    net->set_ack_loss_rate(0.2);
+  };
+  auto traffic = [](Network* net) {
+    for (uint64_t i = 0; i < 10; ++i) {
+      for (NodeId src = 1; src <= 2; ++src) {
+        auto rp = std::make_shared<ReliableProbe>();
+        rp->value = i;
+        net->Send(src, 0, std::move(rp));
+        auto up = std::make_shared<UnreliableProbe>();
+        up->value = i;
+        net->Send(src, 0, std::move(up));
+      }
+      net->RunUntilIdle();
+    }
+  };
+
+  Recorder original;
+  Network rec_net(99);
+  configure(&rec_net);
+  rec_net.RegisterNode(0, &original);
+  rec_net.set_scheduler(std::make_unique<RandomWalkScheduler>(5));
+  rec_net.StartRecording();
+  traffic(&rec_net);
+  Trace trace = rec_net.TakeRecordedTrace();
+  EXPECT_GT(trace.total_decisions, 0u);
+
+  Recorder replayed;
+  Network rep_net(123456);  // deliberately different seed: replay draws no RNG
+  configure(&rep_net);
+  rep_net.RegisterNode(0, &replayed);
+  rep_net.ReplayFrom(trace);
+  traffic(&rep_net);
+
+  EXPECT_EQ(ArrivalOrder(original), ArrivalOrder(replayed));
+  EXPECT_EQ(rec_net.stats().Fingerprint(), rep_net.stats().Fingerprint());
+}
+
+// An empty trace replays the plain FIFO fault-free schedule even on a network
+// whose knobs would inject faults live — every decision takes its default.
+TEST(Scheduler, EmptyTraceReplaysFifoFaultFree) {
+  Recorder r;
+  Network net(7);
+  net.set_loss_rate(0.9);
+  net.set_duplication_rate(0.9);
+  net.RegisterNode(0, &r);
+  net.ReplayFrom(Trace{});
+  for (uint64_t i = 0; i < 20; ++i) {
+    auto p = std::make_shared<UnreliableProbe>();
+    p->value = i;
+    net.Send(1, 0, std::move(p));
+  }
+  net.RunUntilIdle();
+  EXPECT_EQ(r.received.size(), 20u);  // no losses, no duplicates
+  EXPECT_EQ(net.stats().For(MsgKind::kReachabilityTable).dropped, 0u);
+  EXPECT_EQ(net.stats().For(MsgKind::kReachabilityTable).duplicated, 0u);
+}
+
+// Satellite: per-purpose RNG streams.  Toggling a knob that only affects the
+// reliable class (ack loss) must not perturb the datagram-loss pattern — with
+// one shared sequence the interleaved draws would shift it.
+TEST(RngStreams, TogglingOneFaultKnobDoesNotPerturbAnother) {
+  auto dropped_with_ack_loss = [](double ack_loss) {
+    Recorder r;
+    Network net(31);
+    net.set_loss_rate(0.5);
+    net.set_ack_loss_rate(ack_loss);
+    net.RegisterNode(0, &r);
+    std::vector<uint64_t> arrived;
+    for (uint64_t i = 0; i < 40; ++i) {
+      auto rp = std::make_shared<ReliableProbe>();
+      net.Send(1, 0, std::move(rp));
+      auto up = std::make_shared<UnreliableProbe>();
+      up->value = i;
+      net.Send(1, 0, std::move(up));
+      net.RunUntilIdle();
+    }
+    for (const Message& m : r.received) {
+      if (m.payload->kind() == MsgKind::kReachabilityTable) {
+        arrived.push_back(static_cast<const UnreliableProbe&>(*m.payload).value);
+      }
+    }
+    return arrived;
+  };
+  // Not just the same count — the exact same datagrams survive.
+  EXPECT_EQ(dropped_with_ack_loss(0.0), dropped_with_ack_loss(0.4));
+}
+
+TEST(RngStreams, DeriveStreamSeedDecorrelatesPurposes) {
+  EXPECT_NE(DeriveStreamSeed(1, RngStream::kUnreliableLoss),
+            DeriveStreamSeed(1, RngStream::kDuplication));
+  EXPECT_NE(DeriveStreamSeed(1, RngStream::kScheduler),
+            DeriveStreamSeed(2, RngStream::kScheduler));
+  // Stable across calls (pure function of root seed and purpose).
+  EXPECT_EQ(DeriveStreamSeed(77, RngStream::kWorkload),
+            DeriveStreamSeed(77, RngStream::kWorkload));
+}
+
+// The fire gate routes armed crash-point firings through whoever installed
+// it; a gated-off match leaves the schedule armed for the next hit.
+TEST(FaultGate, GateDefersAndOwnerScopesClearing) {
+  FaultInjector& injector = FaultInjector::Global();
+  injector.Reset();
+  injector.Arm("dsm.acquire.pre_send", 4, 1);
+
+  int gate_owner = 0;
+  bool allow = false;
+  injector.set_fire_gate(&gate_owner, [&](const char*, NodeId) { return allow; });
+
+  EXPECT_NO_THROW(injector.Hit("dsm.acquire.pre_send", 4));  // gated off
+  EXPECT_TRUE(injector.ArmedAnywhere());
+
+  int stranger = 0;
+  injector.ClearFireGate(&stranger);  // wrong owner: gate must survive
+  EXPECT_NO_THROW(injector.Hit("dsm.acquire.pre_send", 4));
+
+  allow = true;
+  EXPECT_THROW(injector.Hit("dsm.acquire.pre_send", 4), NodeCrashSignal);
+  EXPECT_FALSE(injector.ArmedAnywhere());
+
+  injector.ClearFireGate(&gate_owner);
+  injector.Reset();
+}
+
+}  // namespace
+}  // namespace bmx
