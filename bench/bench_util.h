@@ -83,7 +83,8 @@ inline void PrintPerfCounters() {
       "[perf] piggyback_updates_coalesced=%llu piggyback_bytes_saved=%llu "
       "piggyback_overflow_spills=%llu\n"
       "[perf] recoveries=%llu epoch_rejected_msgs=%llu fault_points_hit=%llu "
-      "recovery_query_bytes=%llu\n",
+      "recovery_query_bytes=%llu\n"
+      "[perf] pool_regions=%llu pool_chunks_executed=%llu pool_steals=%llu\n",
       static_cast<unsigned long long>(p.slots_scanned),
       static_cast<unsigned long long>(p.words_skipped),
       static_cast<unsigned long long>(p.objects_walked),
@@ -99,7 +100,10 @@ inline void PrintPerfCounters() {
       static_cast<unsigned long long>(p.recoveries),
       static_cast<unsigned long long>(p.epoch_rejected_msgs),
       static_cast<unsigned long long>(p.fault_points_hit),
-      static_cast<unsigned long long>(p.recovery_query_bytes));
+      static_cast<unsigned long long>(p.recovery_query_bytes),
+      static_cast<unsigned long long>(p.pool_regions),
+      static_cast<unsigned long long>(p.pool_chunks_executed),
+      static_cast<unsigned long long>(p.pool_steals));
 }
 
 // Bench entry point shared by every binary.  Extends google-benchmark's CLI

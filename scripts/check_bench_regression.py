@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate.
+
+Compares a google-benchmark --json report against a committed baseline
+snapshot and fails (exit 1) when any benchmark's real_time regressed by more
+than the tolerance (default 15%, override with BMX_BENCH_TOLERANCE, e.g.
+BMX_BENCH_TOLERANCE=0.25).
+
+Usage:
+  scripts/check_bench_regression.py <current.json> <baseline.json>
+  scripts/check_bench_regression.py --dir <current_dir> <baseline_dir>
+
+In --dir mode every *.json in <baseline_dir> must have a matching file in
+<current_dir>; benchmarks present only in the current report (new benchmarks)
+are reported but never fail the gate, so adding a benchmark does not require
+regenerating every snapshot in the same commit.
+
+Baselines are regenerated with:
+  for b in build-release/bench/bench_*; do
+    "$b" --smoke --json "bench_results/baseline/$(basename "$b").json"
+  done
+
+Caveat: --smoke timings on shared CI runners are noisy; the tolerance is
+deliberately loose and gates only order-of-magnitude regressions (an O(n)
+scan turning O(n^2), a lookup table silently bypassed).
+"""
+
+import json
+import os
+import sys
+
+
+def load_benchmarks(path):
+    """Returns {benchmark name: real_time in ns} from a --json report."""
+    with open(path) as f:
+        report = json.load(f)
+    out = {}
+    for bench in report.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue  # compare raw runs only; aggregates double-count
+        unit = bench.get("time_unit", "ns")
+        scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}.get(unit)
+        if scale is None:
+            print(f"warning: {path}: unknown time unit '{unit}' for "
+                  f"{bench.get('name')}; skipping")
+            continue
+        out[bench["name"]] = bench["real_time"] * scale
+    return out
+
+
+def compare(current_path, baseline_path, tolerance):
+    current = load_benchmarks(current_path)
+    baseline = load_benchmarks(baseline_path)
+    failures = []
+    for name, base_ns in sorted(baseline.items()):
+        cur_ns = current.get(name)
+        if cur_ns is None:
+            failures.append(f"{name}: present in baseline but missing from "
+                            f"current report ({current_path})")
+            continue
+        if base_ns <= 0:
+            continue
+        ratio = cur_ns / base_ns
+        verdict = "FAIL" if ratio > 1.0 + tolerance else "ok"
+        print(f"  {verdict:4} {name}: {base_ns:.0f}ns -> {cur_ns:.0f}ns "
+              f"({(ratio - 1.0) * 100.0:+.1f}%)")
+        if ratio > 1.0 + tolerance:
+            failures.append(f"{name}: real_time regressed "
+                            f"{(ratio - 1.0) * 100.0:+.1f}% "
+                            f"(limit +{tolerance * 100.0:.0f}%)")
+    for name in sorted(set(current) - set(baseline)):
+        print(f"  new  {name}: no baseline (not gated)")
+    return failures
+
+
+def main(argv):
+    tolerance = float(os.environ.get("BMX_BENCH_TOLERANCE", "0.15"))
+    if len(argv) == 4 and argv[1] == "--dir":
+        current_dir, baseline_dir = argv[2], argv[3]
+        failures = []
+        names = sorted(n for n in os.listdir(baseline_dir) if n.endswith(".json"))
+        if not names:
+            print(f"error: no baseline snapshots in {baseline_dir}")
+            return 1
+        for name in names:
+            current_path = os.path.join(current_dir, name)
+            if not os.path.exists(current_path):
+                failures.append(f"{name}: baseline exists but no current report")
+                continue
+            print(f"== {name} (tolerance +{tolerance * 100.0:.0f}%) ==")
+            failures.extend(compare(current_path, os.path.join(baseline_dir, name),
+                                    tolerance))
+    elif len(argv) == 3:
+        print(f"== {os.path.basename(argv[1])} vs {argv[2]} "
+              f"(tolerance +{tolerance * 100.0:.0f}%) ==")
+        failures = compare(argv[1], argv[2], tolerance)
+    else:
+        print(__doc__)
+        return 2
+    if failures:
+        print("\nbench regression gate FAILED:")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print("\nbench regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

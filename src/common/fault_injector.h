@@ -39,8 +39,11 @@ struct NodeCrashSignal {
 
 class FaultInjector {
  public:
-  // Process-global instance, matching the single-threaded simulation (and
-  // GlobalPerfCounters).  Tests Reset() it between scenarios.
+  // Per-thread instance (like GlobalPerfCounters): every cluster runs
+  // confined to one thread — the main thread normally, a pool worker for a
+  // parallel explorer walk — and its fault schedules and fire gate live on
+  // that thread.  Tests Reset() it between scenarios; scenario closures must
+  // not leave schedules armed behind them.
   static FaultInjector& Global();
 
   // Marks one execution of the named crash point by `node`.  Cheap when

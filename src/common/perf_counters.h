@@ -1,13 +1,18 @@
 // Cheap monotonic hot-path counters (paper §8's efficiency mechanisms made
 // observable): how many heap slots the scan kernels visited, how many whole
 // 64-slot words they skipped in one instruction, how often the lookup tables
-// were probed and how often the one-entry MRU cache short-circuited them, and
-// what the piggyback coalescer saved on the wire.
+// were probed and how often the one-entry MRU cache short-circuited them,
+// what the piggyback coalescer saved on the wire, and what the task pool did.
 //
-// The counters are process-global: the simulation is single-threaded, the
-// directory is shared between nodes anyway, and a plain `++` on a global is
-// the only instrumentation cost the hot paths can afford.  Benchmarks print
-// them (bench_util.h) and reset them per measurement; tests assert on them.
+// The counters are *per-thread*: a plain `++` on a thread-local is the only
+// instrumentation cost the hot paths can afford, and it stays race-free now
+// that BGC shards, explorer walks and oracle audits run on pool workers.  The
+// TaskPool drains each worker's counters into the submitting thread's at the
+// end of every parallel region, so the totals a bench or test reads on its
+// own thread are complete and independent of the thread count.  (Scheduling-
+// dependent counters — MRU hits, steals — are diagnostics, not part of the
+// determinism contract.)  Benchmarks print them (bench_util.h) and reset them
+// per measurement; tests assert on them.
 
 #ifndef SRC_COMMON_PERF_COUNTERS_H_
 #define SRC_COMMON_PERF_COUNTERS_H_
@@ -41,13 +46,43 @@ struct PerfCounters {
   uint64_t fault_points_hit = 0;      // FAULT_POINT sites executed
   uint64_t recovery_query_bytes = 0;  // wire bytes of recovery query/reply traffic
 
+  // Task pool (deterministic parallel runtime).
+  uint64_t pool_regions = 0;          // multi-threaded ParallelFor regions run
+  uint64_t pool_chunks_executed = 0;  // chunks executed across all participants
+  uint64_t pool_steals = 0;           // chunks taken from another shard's deque
+
   void Reset() { *this = PerfCounters{}; }
+
+  // Field-wise accumulation; the TaskPool uses it to fold worker counters
+  // into the submitter's at the end of each parallel region.
+  void Add(const PerfCounters& o) {
+    slots_scanned += o.slots_scanned;
+    words_skipped += o.words_skipped;
+    objects_walked += o.objects_walked;
+    ref_slots_visited += o.ref_slots_visited;
+    segment_probes += o.segment_probes;
+    segment_mru_hits += o.segment_mru_hits;
+    oid_probes += o.oid_probes;
+    directory_probes += o.directory_probes;
+    token_probes += o.token_probes;
+    piggyback_updates_coalesced += o.piggyback_updates_coalesced;
+    piggyback_bytes_saved += o.piggyback_bytes_saved;
+    piggyback_overflow_spills += o.piggyback_overflow_spills;
+    recoveries += o.recoveries;
+    epoch_rejected_msgs += o.epoch_rejected_msgs;
+    fault_points_hit += o.fault_points_hit;
+    recovery_query_bytes += o.recovery_query_bytes;
+    pool_regions += o.pool_regions;
+    pool_chunks_executed += o.pool_chunks_executed;
+    pool_steals += o.pool_steals;
+  }
 };
 
-// Single process-wide instance.  Header-inline so every layer (bitmap,
-// mem, dsm, gc) can bump counters without a link-time dependency.
+// Per-thread instance.  Header-inline so every layer (bitmap, mem, dsm, gc)
+// can bump counters without a link-time dependency.  On the main thread this
+// holds the process totals (pool workers drain into it via TaskPool).
 inline PerfCounters& GlobalPerfCounters() {
-  static PerfCounters counters;
+  static thread_local PerfCounters counters;
   return counters;
 }
 

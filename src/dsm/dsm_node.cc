@@ -4,6 +4,7 @@
 
 #include "src/common/check.h"
 #include "src/common/fault_injector.h"
+#include "src/common/task_pool.h"
 #include "src/gc/payloads.h"
 
 namespace bmx {
@@ -50,7 +51,15 @@ Gaddr DsmNode::ResolveAddr(Gaddr addr) const {
       }
     }
     if (next == current) {
-      // Fixed point: compress everything we walked through.
+      // Fixed point: compress everything we walked through.  Compression is
+      // semantically invisible (it only shortens chains toward the same fixed
+      // point), but it turns this const read into a write — so it stands down
+      // while a multi-threaded parallel region is sharing this node's heap
+      // (parallel BGC phases, oracle audits).  Serial runs compress exactly
+      // as before.
+      if (TaskPool::InParallelRegion()) {
+        return current;
+      }
       for (Gaddr waypoint : visited) {
         if (store_->HasObjectAt(waypoint)) {
           ObjectHeader* header = store_->HeaderOf(waypoint);

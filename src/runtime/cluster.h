@@ -32,9 +32,12 @@ class Cluster {
   Network& network() { return network_; }
   SegmentDirectory& directory() { return directory_; }
   Disk& disk() { return disk_; }
-  // Hot-path counters (scan kernels, lookup tables, piggyback coalescing).
-  // Process-global — the single-threaded simulation has exactly one cluster
-  // active per measurement; benches reset them per run and print them.
+  // Hot-path counters (scan kernels, lookup tables, piggyback coalescing,
+  // pool regions/steals).  Thread-local — each pool worker counts into its
+  // own block and the TaskPool drains workers back into the submitting
+  // thread when a parallel region ends, so the totals read here are
+  // complete and independent of BMX_THREADS.  Benches reset them per run
+  // and print them.
   PerfCounters& perf() { return GlobalPerfCounters(); }
 
   BunchId CreateBunch(NodeId creator);

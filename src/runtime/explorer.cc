@@ -1,9 +1,11 @@
 #include "src/runtime/explorer.h"
 
+#include <algorithm>
 #include <chrono>
 #include <utility>
 
 #include "src/common/check.h"
+#include "src/common/task_pool.h"
 #include "src/runtime/oracle.h"
 
 namespace bmx {
@@ -77,6 +79,10 @@ ExplorationResult Explorer::Explore(const ExplorerScenario& scenario) {
   size_t walks = options_.schedule == ScheduleKind::kFifo
                      ? 1  // FIFO has exactly one schedule; extra walks repeat it
                      : options_.num_walks;
+  TaskPool& pool = TaskPool::Global();
+  if (pool.threads() > 1 && !TaskPool::InParallelRegion() && walks > 1) {
+    return ExploreParallel(scenario, walks, start);
+  }
   for (size_t walk = 0; walk < walks; ++walk) {
     if (walk > 0 && options_.budget_seconds > 0) {
       double elapsed =
@@ -107,6 +113,69 @@ ExplorationResult Explorer::Explore(const ExplorerScenario& scenario) {
       out.shrunk.WriteFile(out.trace_path);
     }
     break;
+  }
+  return out;
+}
+
+ExplorationResult Explorer::ExploreParallel(
+    const ExplorerScenario& scenario, size_t walks,
+    std::chrono::steady_clock::time_point start) {
+  // Walk fleet: batches of `threads` independent walks, each building and
+  // driving its own cluster confined to one pool thread (the per-thread
+  // fault injector and perf counters make that confinement sound; GC and
+  // oracle task-pool calls inside a walk run inline, being nested).  Batch
+  // results fold in walk order and the fold stops at the first violating
+  // walk, so runs, total_deliveries, fingerprint, and the violating seed all
+  // match the serial loop bit for bit — walks that ran past the first
+  // violation are discarded unobserved.  Only the wall-clock budget is
+  // coarser: it gates batches, not individual walks (and at least one batch
+  // always runs, mirroring the serial at-least-one-walk guarantee).
+  ExplorationResult out;
+  struct WalkOutcome {
+    RunResult run;
+    Trace recorded;
+  };
+  for (size_t batch_start = 0; batch_start < walks;) {
+    if (batch_start > 0 && options_.budget_seconds > 0) {
+      double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+      if (elapsed >= options_.budget_seconds) {
+        break;
+      }
+    }
+    size_t batch = std::min(TaskPool::Global().threads(), walks - batch_start);
+    std::vector<WalkOutcome> outcomes =
+        TaskPool::Global().ParallelMap<WalkOutcome>(batch, [&](size_t i) {
+          uint64_t walk_seed = DeriveStreamSeed(options_.root_seed + batch_start + i,
+                                                RngStream::kScheduler);
+          WalkOutcome outcome;
+          outcome.run =
+              RunOnce(scenario, walk_seed, nullptr, &outcome.recorded, options_.oracle_stride);
+          return outcome;
+        });
+    for (size_t i = 0; i < outcomes.size(); ++i) {
+      RunResult& run = outcomes[i].run;
+      out.runs++;
+      out.total_deliveries += run.deliveries;
+      out.fingerprint = run.fingerprint;
+      if (!run.violated) {
+        continue;
+      }
+      out.violation_found = true;
+      out.violating_walk_seed = DeriveStreamSeed(options_.root_seed + batch_start + i,
+                                                 RngStream::kScheduler);
+      out.violations = run.violations;
+      out.trace = outcomes[i].recorded;
+      size_t shrink_runs = 0;
+      out.shrunk = Shrink(scenario, outcomes[i].recorded, &shrink_runs);
+      out.runs += shrink_runs;
+      if (!options_.trace_dir.empty()) {
+        out.trace_path = options_.trace_dir + "/" + scenario.name + "-violation.trace";
+        out.shrunk.WriteFile(out.trace_path);
+      }
+      return out;
+    }
+    batch_start += batch;
   }
   return out;
 }

@@ -1,0 +1,169 @@
+// TaskPool unit tests: the determinism contract at the pool level.  The
+// system-level half (BGC traffic, explorer results, oracle verdicts across
+// thread counts) lives in tests/integration/determinism_sweep_test.cc.
+
+#include "src/common/task_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/perf_counters.h"
+
+namespace bmx {
+namespace {
+
+// Restores the pool to the environment's thread count when a test ends, so
+// test order never leaks a thread-count override.
+struct PoolGuard {
+  ~PoolGuard() { TaskPool::SetThreadsForTesting(TaskPool::EnvThreads()); }
+};
+
+TEST(TaskPoolTest, ParallelMapMergesInSubmissionOrder) {
+  PoolGuard guard;
+  std::vector<uint64_t> serial;
+  for (size_t i = 0; i < 1000; ++i) {
+    serial.push_back(i * i + 7);
+  }
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    TaskPool::SetThreadsForTesting(threads);
+    std::vector<uint64_t> got = TaskPool::Global().ParallelMap<uint64_t>(
+        1000, [](size_t i) { return static_cast<uint64_t>(i * i + 7); });
+    EXPECT_EQ(got, serial) << "threads=" << threads;
+  }
+}
+
+TEST(TaskPoolTest, EveryIndexRunsExactlyOnce) {
+  PoolGuard guard;
+  TaskPool::SetThreadsForTesting(4);
+  constexpr size_t kN = 513;  // deliberately not a multiple of the chunking
+  std::vector<std::atomic<int>> hits(kN);
+  TaskPool::Global().ParallelFor(kN, [&](size_t i) { hits[i]++; });
+  for (size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(TaskPoolTest, MultipleThreadsActuallyParticipate) {
+  PoolGuard guard;
+  TaskPool::SetThreadsForTesting(4);
+  std::mutex mu;
+  std::set<std::thread::id> seen;
+  TaskPool::Global().ParallelFor(64, [&](size_t) {
+    // Each iteration yields the CPU long enough for workers to wake and steal
+    // even on a single-core host; the assertion is >= 2 participants, not all
+    // 4 (which chunks a worker wins is schedule-dependent by design).
+    std::this_thread::sleep_for(std::chrono::microseconds(500));
+    std::lock_guard<std::mutex> lock(mu);
+    seen.insert(std::this_thread::get_id());
+  });
+  EXPECT_GE(seen.size(), 2u);
+}
+
+TEST(TaskPoolTest, SingleThreadRunsInlineWithoutRegionFlag) {
+  PoolGuard guard;
+  TaskPool::SetThreadsForTesting(1);
+  bool saw_region = false;
+  TaskPool::Global().ParallelFor(64, [&](size_t) {
+    saw_region = saw_region || TaskPool::InParallelRegion();
+  });
+  EXPECT_FALSE(saw_region);  // the 1-thread path is the exact legacy loop
+}
+
+TEST(TaskPoolTest, NestedRegionsRunInline) {
+  PoolGuard guard;
+  TaskPool::SetThreadsForTesting(4);
+  std::vector<uint64_t> outer = TaskPool::Global().ParallelMap<uint64_t>(8, [](size_t i) {
+    EXPECT_TRUE(TaskPool::InParallelRegion());
+    // A nested map must run inline on this worker (no deadlock on the single
+    // global region) and still merge in order.
+    std::vector<uint64_t> inner =
+        TaskPool::Global().ParallelMap<uint64_t>(16, [i](size_t j) { return i * 100 + j; });
+    uint64_t sum = 0;
+    for (size_t j = 0; j < inner.size(); ++j) {
+      EXPECT_EQ(inner[j], i * 100 + j);
+      sum += inner[j];
+    }
+    return sum;
+  });
+  for (size_t i = 0; i < outer.size(); ++i) {
+    EXPECT_EQ(outer[i], i * 100 * 16 + 120);
+  }
+}
+
+TEST(TaskPoolTest, LowestIndexedExceptionWinsDeterministically) {
+  PoolGuard guard;
+  for (size_t threads : {1u, 4u}) {
+    TaskPool::SetThreadsForTesting(threads);
+    std::string caught;
+    try {
+      TaskPool::Global().ParallelFor(300, [](size_t i) {
+        if (i % 37 == 5) {  // several chunks throw
+          throw std::runtime_error("boom@" + std::to_string(i));
+        }
+      });
+      FAIL() << "expected a rethrow (threads=" << threads << ")";
+    } catch (const std::runtime_error& e) {
+      caught = e.what();
+    }
+    // The kept exception comes from the lowest-indexed throwing chunk, and
+    // within a chunk iteration order is sequential — so index 5 always wins,
+    // at any thread count and under any steal schedule.
+    EXPECT_EQ(caught, "boom@5") << "threads=" << threads;
+  }
+}
+
+TEST(TaskPoolTest, PerfCounterTotalsIndependentOfThreadCount) {
+  PoolGuard guard;
+  uint64_t totals[2];
+  size_t runs = 0;
+  for (size_t threads : {1u, 4u}) {
+    TaskPool::SetThreadsForTesting(threads);
+    GlobalPerfCounters().Reset();
+    TaskPool::Global().ParallelFor(500, [](size_t) { GlobalPerfCounters().objects_walked++; });
+    // Worker-side increments must drain back to the submitting thread by the
+    // time ParallelFor returns.
+    totals[runs++] = GlobalPerfCounters().objects_walked;
+  }
+  EXPECT_EQ(totals[0], 500u);
+  EXPECT_EQ(totals[1], 500u);
+}
+
+TEST(TaskPoolTest, EmptyAndSingletonRegions) {
+  PoolGuard guard;
+  TaskPool::SetThreadsForTesting(4);
+  size_t ran = 0;
+  TaskPool::Global().ParallelFor(0, [&](size_t) { ran++; });
+  EXPECT_EQ(ran, 0u);
+  TaskPool::Global().ParallelFor(1, [&](size_t i) {
+    EXPECT_EQ(i, 0u);
+    EXPECT_FALSE(TaskPool::InParallelRegion());  // n==1 runs inline
+    ran++;
+  });
+  EXPECT_EQ(ran, 1u);
+}
+
+TEST(TaskPoolTest, SetThreadsForTestingReconfigures) {
+  PoolGuard guard;
+  TaskPool::SetThreadsForTesting(3);
+  EXPECT_EQ(TaskPool::Global().threads(), 3u);
+  TaskPool::SetThreadsForTesting(1);
+  EXPECT_EQ(TaskPool::Global().threads(), 1u);
+  // Back-to-back reconfiguration with work in between must not wedge.
+  TaskPool::SetThreadsForTesting(2);
+  std::vector<uint64_t> got =
+      TaskPool::Global().ParallelMap<uint64_t>(32, [](size_t i) { return i + 1; });
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i], i + 1);
+  }
+}
+
+}  // namespace
+}  // namespace bmx
