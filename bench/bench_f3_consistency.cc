@@ -1,0 +1,84 @@
+// F3: consistency-checker cost model.
+//
+// Two questions the tentpole must answer with numbers:
+//   * What does Check() cost as the recorded history grows?  (The checker is
+//     offline — run at quiescence — but explorer sweeps run it once per walk,
+//     so it must stay cheap at workload-sized histories.)
+//   * What does *recording* cost while the run executes?  The contract is
+//     "one null check when disabled"; with a recorder attached the hooks pay
+//     for clock ticks and event copies, visible as run-to-run delta here.
+
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/runtime/consistency_checker.h"
+#include "src/runtime/explorer.h"
+#include "src/runtime/scenarios.h"
+
+namespace bmx {
+namespace {
+
+HistoryWorkloadOptions KnobsForOps(int64_t ops) {
+  HistoryWorkloadOptions knobs;
+  knobs.ops = static_cast<size_t>(ops);
+  return knobs;
+}
+
+// Checker cost vs history length: build one recorded run outside the timing
+// loop, then time Check() alone.
+void BM_F3_CheckerVsHistoryLength(benchmark::State& state) {
+  ExplorerScenario scenario = HistoryWorkloadScenario(KnobsForOps(state.range(0)));
+  std::unique_ptr<Cluster> cluster = scenario.make(1);
+  cluster->EnableHistoryRecording();
+  scenario.run(*cluster);
+  cluster->Pump();
+  for (auto _ : state) {
+    ConsistencyChecker checker(cluster->history(), &cluster->directory());
+    auto violations = checker.Check();
+    benchmark::DoNotOptimize(violations);
+  }
+  state.counters["events"] =
+      static_cast<double>(cluster->history()->TotalEvents());
+}
+BENCHMARK(BM_F3_CheckerVsHistoryLength)->Arg(64)->Arg(256)->Arg(1024);
+
+// Recording overhead: the same workload run end to end, recorder attached or
+// not.  The delta between the two lines is the per-run price of the hooks.
+void BM_F3_RecordingOverhead(benchmark::State& state) {
+  const bool recording = state.range(0) != 0;
+  ExplorerScenario scenario = HistoryWorkloadScenario(KnobsForOps(128));
+  uint64_t events = 0;
+  for (auto _ : state) {
+    std::unique_ptr<Cluster> cluster = scenario.make(1);
+    if (recording) {
+      cluster->EnableHistoryRecording();
+    }
+    scenario.run(*cluster);
+    cluster->Pump();
+    if (recording) {
+      events = cluster->history()->TotalEvents();
+    }
+  }
+  state.counters["events"] = static_cast<double>(events);
+}
+BENCHMARK(BM_F3_RecordingOverhead)->Arg(0)->Arg(1);
+
+// Full explorer verdict path (run + record + check at quiescence), the shape
+// CI's consistency sweep executes.
+void BM_F3_ExplorerVerdict(benchmark::State& state) {
+  ExplorerScenario scenario = HistoryWorkloadScenario(KnobsForOps(64));
+  for (auto _ : state) {
+    ExplorerOptions options;
+    options.schedule = ScheduleKind::kFifo;
+    options.check_consistency = true;
+    Explorer explorer(options);
+    ExplorationResult result = explorer.Explore(scenario);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_F3_ExplorerVerdict);
+
+}  // namespace
+}  // namespace bmx
+
+BMX_BENCHMARK_MAIN();

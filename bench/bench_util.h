@@ -84,7 +84,9 @@ inline void PrintPerfCounters() {
       "piggyback_overflow_spills=%llu\n"
       "[perf] recoveries=%llu epoch_rejected_msgs=%llu fault_points_hit=%llu "
       "recovery_query_bytes=%llu\n"
-      "[perf] pool_regions=%llu pool_chunks_executed=%llu pool_steals=%llu\n",
+      "[perf] pool_regions=%llu pool_chunks_executed=%llu pool_steals=%llu\n"
+      "[perf] history_events_recorded=%llu consistency_checks_run=%llu "
+      "consistency_violations=%llu\n",
       static_cast<unsigned long long>(p.slots_scanned),
       static_cast<unsigned long long>(p.words_skipped),
       static_cast<unsigned long long>(p.objects_walked),
@@ -103,7 +105,10 @@ inline void PrintPerfCounters() {
       static_cast<unsigned long long>(p.recovery_query_bytes),
       static_cast<unsigned long long>(p.pool_regions),
       static_cast<unsigned long long>(p.pool_chunks_executed),
-      static_cast<unsigned long long>(p.pool_steals));
+      static_cast<unsigned long long>(p.pool_steals),
+      static_cast<unsigned long long>(p.history_events_recorded),
+      static_cast<unsigned long long>(p.consistency_checks_run),
+      static_cast<unsigned long long>(p.consistency_violations));
 }
 
 // Bench entry point shared by every binary.  Extends google-benchmark's CLI

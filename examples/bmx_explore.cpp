@@ -8,11 +8,16 @@
 //   bmx_explore [--budget-seconds N] [--seeds N] [--seed ROOT]
 //               [--schedule fifo|random-walk|delay-bounded]
 //               [--delay-bound N] [--deviation-rate R] [--stride N]
-//               [--trace-dir DIR] [--scenario NAME] [--canary] [--list]
+//               [--trace-dir DIR] [--scenario NAME] [--canary]
+//               [--stale-canary] [--consistency] [--workload] [--list]
 //
 // --canary swaps in the planted-ordering-bug scenario (a self-test of the
 // find→shrink→replay pipeline: it MUST violate, and the run fails if the
-// explorer misses it).
+// explorer misses it).  --stale-canary does the same with the planted
+// stale-read bug, which only the consistency checker can see (it implies
+// --consistency).  --consistency records client histories and adds
+// ConsistencyChecker verdicts to every walk; --workload appends the
+// randomized mutator workload to the scenario set.
 
 #include <cstdio>
 #include <cstdlib>
@@ -56,6 +61,8 @@ int main(int argc, char** argv) {
   options.oracle_stride = 1;
   std::string only_scenario;
   bool canary = false;
+  bool stale_canary = false;
+  bool workload = false;
   bool list = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -96,6 +103,13 @@ int main(int argc, char** argv) {
       only_scenario = next("--scenario");
     } else if (std::strcmp(argv[i], "--canary") == 0) {
       canary = true;
+    } else if (std::strcmp(argv[i], "--stale-canary") == 0) {
+      stale_canary = true;
+      options.check_consistency = true;
+    } else if (std::strcmp(argv[i], "--consistency") == 0) {
+      options.check_consistency = true;
+    } else if (std::strcmp(argv[i], "--workload") == 0) {
+      workload = true;
     } else if (std::strcmp(argv[i], "--list") == 0) {
       list = true;
     } else {
@@ -107,8 +121,14 @@ int main(int argc, char** argv) {
   std::vector<ExplorerScenario> scenarios;
   if (canary) {
     scenarios.push_back(CanaryReorderScenario());
+  } else if (stale_canary) {
+    scenarios.push_back(StaleReadCanaryScenario());
   } else {
-    for (ExplorerScenario& s : StandardScenarios()) {
+    std::vector<ExplorerScenario> all = StandardScenarios();
+    if (workload) {
+      all.push_back(HistoryWorkloadScenario());
+    }
+    for (ExplorerScenario& s : all) {
       if (only_scenario.empty() || s.name == only_scenario) {
         scenarios.push_back(std::move(s));
       }
@@ -144,12 +164,13 @@ int main(int argc, char** argv) {
     any_violation |= result.violation_found;
   }
 
-  if (canary && !any_violation) {
-    std::fprintf(stderr, "canary self-test FAILED: explorer missed the planted bug\n");
-    return 1;
-  }
-  if (canary) {
-    std::printf("canary self-test ok: planted bug found and shrunk\n");
+  if (canary || stale_canary) {
+    const char* which = canary ? "canary" : "stale-canary";
+    if (!any_violation) {
+      std::fprintf(stderr, "%s self-test FAILED: explorer missed the planted bug\n", which);
+      return 1;
+    }
+    std::printf("%s self-test ok: planted bug found and shrunk\n", which);
     return 0;
   }
   return any_violation ? 1 : 0;

@@ -51,6 +51,11 @@ struct PerfCounters {
   uint64_t pool_chunks_executed = 0;  // chunks executed across all participants
   uint64_t pool_steals = 0;           // chunks taken from another shard's deque
 
+  // Client-history recording and consistency verdicts.
+  uint64_t history_events_recorded = 0;  // client-observable events recorded
+  uint64_t consistency_checks_run = 0;   // ConsistencyChecker::Check() calls
+  uint64_t consistency_violations = 0;   // violations those checks reported
+
   void Reset() { *this = PerfCounters{}; }
 
   // Field-wise accumulation; the TaskPool uses it to fold worker counters
@@ -75,6 +80,9 @@ struct PerfCounters {
     pool_regions += o.pool_regions;
     pool_chunks_executed += o.pool_chunks_executed;
     pool_steals += o.pool_steals;
+    history_events_recorded += o.history_events_recorded;
+    consistency_checks_run += o.consistency_checks_run;
+    consistency_violations += o.consistency_violations;
   }
 };
 

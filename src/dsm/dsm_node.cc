@@ -6,6 +6,7 @@
 #include "src/common/fault_injector.h"
 #include "src/common/task_pool.h"
 #include "src/gc/payloads.h"
+#include "src/runtime/history.h"
 
 namespace bmx {
 
@@ -374,6 +375,24 @@ void DsmNode::RecordLocalMove(Oid oid, Gaddr old_addr, Gaddr new_addr, BunchId b
   store_->SetAddrOfOid(oid, new_addr);
   // Only owners move objects; the new location is the canonical one.
   directory_->RecordObjectAddress(oid, new_addr);
+  RecordGcFlip(oid, old_addr, new_addr);
+}
+
+void DsmNode::RecordGcFlip(Oid oid, Gaddr old_addr, Gaddr new_addr) {
+#if !defined(BMX_DISABLE_HISTORY)
+  if (HistoryRecorder* recorder = network_->history_recorder()) {
+    HistoryEvent event;
+    event.op = HistoryOp::kGcFlip;
+    event.oid = oid;
+    event.old_addr = old_addr;
+    event.new_addr = new_addr;
+    recorder->Record(id_, std::move(event));
+  }
+#else
+  (void)oid;
+  (void)old_addr;
+  (void)new_addr;
+#endif
 }
 
 bool DsmNode::IsLocallyOwned(Oid oid) const {
@@ -601,6 +620,12 @@ void DsmNode::StartWriteGrant(Oid oid, NodeId requester, bool for_gc) {
 
 void DsmNode::StartInvalidation(Oid oid, NodeId parent) {
   TokenInfo& t = InfoOf(oid);
+  if (stale_skip_reader_ != kInvalidNode && t.copyset.erase(stale_skip_reader_) > 0) {
+    // Planted consistency bug (PlantStaleReadBugForTesting): drop one reader
+    // from the fan-out.  It keeps its read token and stale bytes, and the
+    // write proceeds without ever learning about it.  One-shot.
+    stale_skip_reader_ = kInvalidNode;
+  }
   InvalProgress progress;
   progress.parent = parent;
   progress.awaiting = t.copyset.size();
@@ -975,6 +1000,8 @@ void DsmNode::ApplyOneAddressUpdate(const AddressUpdate& update) {
   }
   if (!seen) {
     history.push_back(update);
+    // First time this node learns of the move: a client-observable flip.
+    RecordGcFlip(update.oid, update.old_addr, update.new_addr);
   }
   // An owner is authoritative for its own objects' locations: updates about
   // them are echoes of old moves and must not disturb the oid map or bytes —

@@ -6,6 +6,7 @@
 #include "src/common/check.h"
 #include "src/common/fault_injector.h"
 #include "src/common/perf_counters.h"
+#include "src/runtime/history.h"
 
 namespace bmx {
 
@@ -365,6 +366,11 @@ void Network::Send(NodeId src, NodeId dst, std::shared_ptr<const Payload> payloa
   msg.src_epoch = IncarnationOf(src);
   msg.dst_epoch = IncarnationOf(dst);
   msg.payload = std::move(payload);
+  // Causality observation for the consistency checker: one snapshot per
+  // logical send, keyed by wire identity.  Duplicates and retransmissions
+  // reuse the key; redelivery re-stamps (and is not re-reported — crash-free
+  // consistency runs never take that path).
+  BMX_HISTORY_HOOK(history_, OnSend(src, dst, msg.seq));
 
   if (reliable) {
     RetxEntry entry;
@@ -551,6 +557,9 @@ bool Network::DeliverOne() {
       channel.expected_rel_seq++;
     }
     pk.delivered++;
+    // Join before the handler runs: messages the handler sends must carry
+    // the sender's post-join clock, or causality through a relay is lost.
+    BMX_HISTORY_HOOK(history_, OnDeliver(msg.src, msg.dst, msg.seq));
     if (!Dispatch(handler->second, msg)) {
       return true;  // destination crashed processing this delivery
     }
@@ -563,6 +572,7 @@ bool Network::DeliverOne() {
         break;  // destination crashed mid-delivery; volatile state is gone
       }
       stats_.For(released.payload->kind()).delivered++;
+      BMX_HISTORY_HOOK(history_, OnDeliver(released.src, released.dst, released.seq));
       if (!Dispatch(h->second, released)) {
         return true;  // crashed on a released successor; the rest die too
       }
@@ -574,6 +584,7 @@ bool Network::DeliverOne() {
   }
 
   pk.delivered++;
+  BMX_HISTORY_HOOK(history_, OnDeliver(msg.src, msg.dst, msg.seq));
   if (Dispatch(handler->second, msg) && delivery_observer_) {
     delivery_observer_(msg);
   }

@@ -53,6 +53,8 @@
 
 namespace bmx {
 
+class HistoryRecorder;
+
 class MessageHandler {
  public:
   virtual ~MessageHandler() = default;
@@ -209,6 +211,17 @@ class Network {
     delivery_observer_ = std::move(observer);
   }
 
+  // --- Client-history recording (consistency checker). ---
+  // When set, the network reports message causality out of band — each
+  // logical send, and each delivery *before* the handler runs so sends the
+  // handler emits inherit the joined clock.  Pure observation: no wire byte,
+  // stat, or decision index changes, so traffic fingerprints and recorded
+  // traces stay bit-identical with or without a recorder (pinned by
+  // tests/runtime/consistency_test.cc).  Null disables (single branch per
+  // send/delivery; gone entirely under BMX_DISABLE_HISTORY).
+  void set_history_recorder(HistoryRecorder* recorder) { history_ = recorder; }
+  HistoryRecorder* history_recorder() const { return history_; }
+
   // --- Fault injection. ---
   // Loss probability applied to unreliable payloads (app-visible loss).
   void set_loss_rate(double p) { loss_rate_ = p; }
@@ -348,6 +361,7 @@ class Network {
   std::unique_ptr<SchedulerPolicy> scheduler_;
   DecisionLog decisions_;
   std::function<void(const Message&)> delivery_observer_;
+  HistoryRecorder* history_ = nullptr;
   bool fault_gate_attached_ = false;
   uint64_t now_ = 0;
   uint64_t retransmit_timeout_ = 8;

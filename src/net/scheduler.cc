@@ -50,6 +50,10 @@ std::string Trace::Serialize() const {
   for (const Decision& d : decisions) {
     os << "decision: " << d.index << " " << DecisionPointName(d.point) << " " << d.value << "\n";
   }
+  // Footer: the decision count again.  A trace cut off mid-transfer is
+  // missing it (or disagrees with it) and is rejected instead of silently
+  // replaying a prefix of the schedule.
+  os << "end: " << decisions.size() << "\n";
   return os.str();
 }
 
@@ -59,6 +63,8 @@ bool Trace::Parse(const std::string& text, Trace* out) {
   std::istringstream is(text);
   std::string line;
   bool versioned = false;
+  bool have_end = false;
+  uint64_t end_count = 0;
   while (std::getline(is, line)) {
     if (line.empty()) {
       continue;
@@ -75,7 +81,13 @@ bool Trace::Parse(const std::string& text, Trace* out) {
     }
     std::string key = line.substr(0, colon);
     std::string value = line.substr(colon + 2);
-    if (key == "scenario") {
+    if (have_end) {
+      return false;  // content after the footer: corrupted trace
+    }
+    if (key == "end") {
+      end_count = std::strtoull(value.c_str(), nullptr, 10);
+      have_end = true;
+    } else if (key == "scenario") {
       out->scenario = value;
     } else if (key == "scheduler") {
       out->scheduler = value;
@@ -101,7 +113,10 @@ bool Trace::Parse(const std::string& text, Trace* out) {
       return false;  // unknown key: refuse rather than misreplay
     }
   }
-  return versioned;
+  // A trace is complete only when the version header was seen AND the footer
+  // confirms every decision line arrived (truncation drops the footer or
+  // decision lines; either way the counts disagree).
+  return versioned && have_end && end_count == out->decisions.size();
 }
 
 bool Trace::WriteFile(const std::string& path) const {

@@ -23,6 +23,14 @@ Node& Cluster::node(NodeId id) {
 
 BunchId Cluster::CreateBunch(NodeId creator) { return directory_.CreateBunch(creator); }
 
+void Cluster::EnableHistoryRecording() {
+  if (history_ != nullptr) {
+    return;
+  }
+  history_ = std::make_unique<HistoryRecorder>(nodes_.size());
+  network_.set_history_recorder(history_.get());
+}
+
 void Cluster::CrashNode(NodeId id) {
   BMX_CHECK_LT(id, nodes_.size());
   BMX_CHECK(nodes_[id] != nullptr) << "node " << id << " already crashed";

@@ -11,6 +11,7 @@
 #include "src/common/types.h"
 #include "src/mem/directory.h"
 #include "src/net/network.h"
+#include "src/runtime/history.h"
 #include "src/runtime/node.h"
 #include "src/rvm/disk.h"
 
@@ -28,10 +29,21 @@ class Cluster {
   explicit Cluster(const ClusterOptions& options = {});
 
   size_t size() const { return nodes_.size(); }
+  // Root seed this cluster was built with; seeded workload generators derive
+  // their streams from it (DeriveStreamSeed) so runs reproduce from the seed.
+  uint64_t seed() const { return options_.seed; }
   Node& node(NodeId id);
   Network& network() { return network_; }
   SegmentDirectory& directory() { return directory_; }
   Disk& disk() { return disk_; }
+
+  // Attaches a client-history recorder to the network (idempotent).  Call
+  // before driving any traffic so vector clocks cover the whole run; the
+  // ConsistencyChecker consumes history() at quiescence.  Recording is pure
+  // observation — traffic fingerprints are unchanged (see Network).
+  void EnableHistoryRecording();
+  // The attached recorder, or nullptr when recording was never enabled.
+  HistoryRecorder* history() { return history_.get(); }
   // Hot-path counters (scan kernels, lookup tables, piggyback coalescing,
   // pool regions/steals).  Thread-local — each pool worker counts into its
   // own block and the TaskPool drains workers back into the submitting
@@ -78,6 +90,9 @@ class Cluster {
   Network network_;
   SegmentDirectory directory_;
   Disk disk_;
+  // Declared after network_: the network holds a raw pointer but never
+  // touches it during destruction.
+  std::unique_ptr<HistoryRecorder> history_;
   std::vector<std::unique_ptr<Node>> nodes_;
   // Crashed Node objects whose destruction is deferred (see CrashNode).
   std::vector<std::unique_ptr<Node>> zombies_;

@@ -1,0 +1,315 @@
+#include "src/runtime/consistency_checker.h"
+
+#include <cstddef>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/common/perf_counters.h"
+#include "src/mem/directory.h"
+
+namespace bmx {
+
+namespace {
+
+// One read or write attributed to a critical section.
+struct Access {
+  bool is_write = false;
+  uint32_t slot = 0;
+  uint64_t value = 0;
+  bool is_ref = false;
+  VectorClock vc;
+};
+
+// One critical section on one object at one node, [acq_vc, rel_vc].  Creator
+// accesses outside any bracket become degenerate sections (acq == rel == the
+// access), which lets check B order them against remote sections.
+struct Section {
+  NodeId node = kInvalidNode;
+  Oid oid = kNullOid;
+  bool write_mode = false;
+  bool implicit = false;  // creator access with no explicit bracket
+  VectorClock acq_vc;
+  VectorClock rel_vc;  // last-access clock when the section was never released
+  std::vector<Access> accesses;
+
+  bool HasWrite() const {
+    for (const Access& a : accesses) {
+      if (a.is_write) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+std::string Where(NodeId node, Oid oid) {
+  std::ostringstream os;
+  os << "node " << node << " oid " << oid;
+  return os.str();
+}
+
+}  // namespace
+
+ConsistencyChecker::ConsistencyChecker(const HistoryRecorder* history,
+                                       const SegmentDirectory* directory)
+    : history_(history), directory_(directory) {
+  BMX_CHECK(history_ != nullptr);
+}
+
+std::vector<std::string> ConsistencyChecker::Check() {
+  std::vector<std::string> violations;
+  GlobalPerfCounters().consistency_checks_run++;
+
+  // Reference values compare by object identity, not raw address: the
+  // directory keeps every address an object ever had mapped to its oid, so a
+  // GC move between write and read canonicalizes to the same value.  Bit 63
+  // tags a resolved identity (segment-based addresses never reach it).
+  auto canonical = [this](uint64_t value, bool is_ref) -> uint64_t {
+    if (!is_ref || value == kNullAddr || directory_ == nullptr) {
+      return value;
+    }
+    Oid oid = directory_->OidAtAddress(static_cast<Gaddr>(value));
+    return oid == kNullOid ? value : ((uint64_t{1} << 63) | oid);
+  };
+
+  // --- Pass 1: per-node program-order walk.  Builds the section list (for
+  // --- checks B/C/D), enforcing bracket discipline (A) and intra-section
+  // --- stability (E) along the way.
+  std::map<Oid, NodeId> creator_of;
+  for (NodeId n = 0; n < history_->num_nodes(); ++n) {
+    for (const HistoryEvent& ev : history_->HistoryOf(n)) {
+      if (ev.op == HistoryOp::kAlloc) {
+        creator_of.emplace(ev.oid, n);
+      }
+    }
+  }
+
+  std::map<Oid, std::vector<Section>> sections;
+  for (NodeId n = 0; n < history_->num_nodes(); ++n) {
+    std::map<Oid, Section> open;
+    // (oid, slot) -> canonical value last seen in the current open section.
+    std::map<std::pair<Oid, uint32_t>, uint64_t> section_view;
+    for (const HistoryEvent& ev : history_->HistoryOf(n)) {
+      switch (ev.op) {
+        case HistoryOp::kAlloc:
+        case HistoryOp::kGcFlip:
+          break;
+        case HistoryOp::kAcquireRead:
+        case HistoryOp::kAcquireWrite: {
+          auto it = open.find(ev.oid);
+          if (it != open.end()) {
+            violations.push_back("bracket: nested acquire with a section already open (" +
+                                 Where(n, ev.oid) + ")");
+            it->second.rel_vc = ev.vc;
+            sections[ev.oid].push_back(std::move(it->second));
+            open.erase(it);
+          }
+          Section s;
+          s.node = n;
+          s.oid = ev.oid;
+          s.write_mode = ev.op == HistoryOp::kAcquireWrite;
+          s.acq_vc = ev.vc;
+          s.rel_vc = ev.vc;
+          open.emplace(ev.oid, std::move(s));
+          break;
+        }
+        case HistoryOp::kRelease: {
+          auto it = open.find(ev.oid);
+          if (it == open.end()) {
+            violations.push_back("bracket: release without an open section (" +
+                                 Where(n, ev.oid) + ")");
+            break;
+          }
+          it->second.rel_vc = ev.vc;
+          sections[ev.oid].push_back(std::move(it->second));
+          open.erase(it);
+          // The section's view dies with it: the next section re-reads under
+          // a fresh token and may legitimately see newer values.
+          for (auto view_it = section_view.begin(); view_it != section_view.end();) {
+            if (view_it->first.first == ev.oid) {
+              view_it = section_view.erase(view_it);
+            } else {
+              ++view_it;
+            }
+          }
+          break;
+        }
+        case HistoryOp::kRead:
+        case HistoryOp::kWrite: {
+          bool is_write = ev.op == HistoryOp::kWrite;
+          Access access;
+          access.is_write = is_write;
+          access.slot = ev.slot;
+          access.value = ev.value;
+          access.is_ref = ev.is_ref;
+          access.vc = ev.vc;
+          auto it = open.find(ev.oid);
+          if (it != open.end()) {
+            Section& s = it->second;
+            if (is_write && !s.write_mode) {
+              violations.push_back("bracket: write inside a read-mode section (" +
+                                   Where(n, ev.oid) + " slot " + std::to_string(ev.slot) + ")");
+            }
+            // E: a re-read with no intervening write in this section must
+            // return the same canonical value (GC flips are transparent).
+            uint64_t canon = canonical(ev.value, ev.is_ref);
+            auto key = std::make_pair(ev.oid, ev.slot);
+            auto view = section_view.find(key);
+            if (!is_write && view != section_view.end() && view->second != canon) {
+              violations.push_back("stability: re-read changed value inside one section (" +
+                                   Where(n, ev.oid) + " slot " + std::to_string(ev.slot) + ")");
+            }
+            section_view[key] = canon;
+            s.rel_vc = ev.vc;  // provisional close for never-released sections
+            s.accesses.push_back(std::move(access));
+            break;
+          }
+          auto creator = creator_of.find(ev.oid);
+          if (creator == creator_of.end() || creator->second != n) {
+            violations.push_back("bracket: access outside any critical section (" +
+                                 Where(n, ev.oid) + " slot " + std::to_string(ev.slot) + ")");
+            break;
+          }
+          // Creator allowance: a degenerate [vc, vc] section so check B can
+          // still order it against remote sections.
+          Section s;
+          s.node = n;
+          s.oid = ev.oid;
+          s.write_mode = is_write;
+          s.implicit = true;
+          s.acq_vc = ev.vc;
+          s.rel_vc = ev.vc;
+          s.accesses.push_back(std::move(access));
+          sections[ev.oid].push_back(std::move(s));
+          break;
+        }
+      }
+    }
+    for (auto& [oid, s] : open) {
+      sections[oid].push_back(std::move(s));  // unreleased: closed at last access
+    }
+  }
+
+  // --- B: conflicting cross-node sections must be ordered. ---
+  for (const auto& [oid, list] : sections) {
+    for (size_t i = 0; i < list.size(); ++i) {
+      for (size_t j = i + 1; j < list.size(); ++j) {
+        const Section& a = list[i];
+        const Section& b = list[j];
+        if (a.node == b.node) {
+          continue;  // program order
+        }
+        if (!a.HasWrite() && !b.HasWrite()) {
+          continue;  // concurrent readers are the MRSW point
+        }
+        if (!VcLeq(a.rel_vc, b.acq_vc) && !VcLeq(b.rel_vc, a.acq_vc)) {
+          violations.push_back(
+              "conflict: concurrent critical sections with a writer on oid " +
+              std::to_string(oid) + " (node " + std::to_string(a.node) + " vs node " +
+              std::to_string(b.node) + ")");
+        }
+      }
+    }
+  }
+
+  // --- C and D over the flattened access lists. ---
+  struct TaggedAccess {
+    NodeId node;
+    Access access;
+  };
+  std::map<Oid, std::vector<TaggedAccess>> accesses;
+  for (const auto& [oid, list] : sections) {
+    for (const Section& s : list) {
+      for (const Access& a : s.accesses) {
+        accesses[oid].push_back({s.node, a});
+      }
+    }
+  }
+  for (const auto& [oid, list] : accesses) {
+    // C: cross-node writes to one object are totally ordered.
+    for (size_t i = 0; i < list.size(); ++i) {
+      if (!list[i].access.is_write) {
+        continue;
+      }
+      for (size_t j = i + 1; j < list.size(); ++j) {
+        if (!list[j].access.is_write || list[i].node == list[j].node) {
+          continue;
+        }
+        if (VcConcurrent(list[i].access.vc, list[j].access.vc)) {
+          violations.push_back("serialization: concurrent cross-node writes to oid " +
+                               std::to_string(oid) + " (node " + std::to_string(list[i].node) +
+                               " vs node " + std::to_string(list[j].node) + ")");
+        }
+      }
+    }
+    // D: each read returns the causally latest happens-before write.  When
+    // the maximal candidates are concurrent among themselves, C has already
+    // complained; skip rather than double-report.
+    for (const TaggedAccess& r : list) {
+      if (r.access.is_write) {
+        continue;
+      }
+      std::vector<const TaggedAccess*> candidates;
+      for (const TaggedAccess& w : list) {
+        if (w.access.is_write && w.access.slot == r.access.slot &&
+            VcLeq(w.access.vc, r.access.vc)) {
+          candidates.push_back(&w);
+        }
+      }
+      // The latest candidate must dominate every other; if the maximal
+      // candidates are mutually concurrent there is no unique expected value.
+      const TaggedAccess* latest = nullptr;
+      for (const TaggedAccess* w : candidates) {
+        bool dominates = true;
+        for (const TaggedAccess* other : candidates) {
+          if (other != w && !VcLeq(other->access.vc, w->access.vc)) {
+            dominates = false;
+            break;
+          }
+        }
+        if (dominates) {
+          latest = w;
+          break;
+        }
+      }
+      if (latest == nullptr) {
+        continue;  // uninitialized read, or concurrent writes (C reported)
+      }
+      uint64_t want = canonical(latest->access.value, latest->access.is_ref);
+      uint64_t got = canonical(r.access.value, r.access.is_ref);
+      if (want != got) {
+        violations.push_back(
+            "stale-read: node " + std::to_string(r.node) + " read oid " + std::to_string(oid) +
+            " slot " + std::to_string(r.access.slot) + " = " + std::to_string(r.access.value) +
+            " but the latest visible write (node " + std::to_string(latest->node) + ") stored " +
+            std::to_string(latest->access.value));
+      }
+    }
+  }
+
+  // --- F: recorded flips never re-bind an address to a different object. ---
+  if (directory_ != nullptr) {
+    for (NodeId n = 0; n < history_->num_nodes(); ++n) {
+      for (const HistoryEvent& ev : history_->HistoryOf(n)) {
+        if (ev.op != HistoryOp::kGcFlip) {
+          continue;
+        }
+        for (Gaddr addr : {ev.old_addr, ev.new_addr}) {
+          Oid mapped = directory_->OidAtAddress(addr);
+          if (mapped != kNullOid && mapped != ev.oid) {
+            violations.push_back("flip: address " + std::to_string(addr) +
+                                 " flipped under oid " + std::to_string(ev.oid) +
+                                 " but the directory maps it to oid " + std::to_string(mapped));
+          }
+        }
+      }
+    }
+  }
+
+  GlobalPerfCounters().consistency_violations += violations.size();
+  return violations;
+}
+
+}  // namespace bmx

@@ -6,6 +6,7 @@
 
 #include "src/common/check.h"
 #include "src/common/task_pool.h"
+#include "src/runtime/consistency_checker.h"
 #include "src/runtime/oracle.h"
 
 namespace bmx {
@@ -15,6 +16,9 @@ RunResult Explorer::RunOnce(const ExplorerScenario& scenario, uint64_t walk_seed
   RunResult result;
   std::unique_ptr<Cluster> cluster = scenario.make(options_.root_seed);
   BMX_CHECK(cluster != nullptr) << "scenario " << scenario.name << " produced no cluster";
+  if (options_.check_consistency) {
+    cluster->EnableHistoryRecording();
+  }
   Network& net = cluster->network();
   if (replay == nullptr) {
     switch (options_.schedule) {
@@ -58,6 +62,12 @@ RunResult Explorer::RunOnce(const ExplorerScenario& scenario, uint64_t walk_seed
   cluster->Pump();
   for (std::string& v : oracle.Check()) {
     result.violations.push_back(std::move(v));
+  }
+  if (options_.check_consistency && cluster->history() != nullptr) {
+    ConsistencyChecker checker(cluster->history(), &cluster->directory());
+    for (std::string& v : checker.Check()) {
+      result.violations.push_back("consistency: " + std::move(v));
+    }
   }
   result.violated = !result.violations.empty();
   if (!mid_run_violation) {

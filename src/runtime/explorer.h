@@ -59,6 +59,11 @@ struct ExplorerOptions {
   double budget_seconds = 0.0;
   // Upper bound on scenario executions one Shrink() may spend.
   size_t max_shrink_runs = 400;
+  // Record per-node client histories (Cluster::EnableHistoryRecording) and
+  // run the ConsistencyChecker at quiescence; its violations join the
+  // oracle's, prefixed "consistency: ".  Recording is observation-only, so
+  // fingerprints — and therefore shrinking and replay — are unaffected.
+  bool check_consistency = false;
   // When non-empty, the shrunk trace of a violating walk is written here as
   // "<scenario>-violation.trace".
   std::string trace_dir;

@@ -1,0 +1,39 @@
+#include "src/runtime/history.h"
+
+namespace bmx {
+
+const char* HistoryOpName(HistoryOp op) {
+  switch (op) {
+    case HistoryOp::kAlloc:
+      return "alloc";
+    case HistoryOp::kAcquireRead:
+      return "acquire-read";
+    case HistoryOp::kAcquireWrite:
+      return "acquire-write";
+    case HistoryOp::kRelease:
+      return "release";
+    case HistoryOp::kRead:
+      return "read";
+    case HistoryOp::kWrite:
+      return "write";
+    case HistoryOp::kGcFlip:
+      return "gc-flip";
+  }
+  return "unknown";
+}
+
+bool VcLeq(const VectorClock& a, const VectorClock& b) {
+  BMX_CHECK_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] > b[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool VcConcurrent(const VectorClock& a, const VectorClock& b) {
+  return !VcLeq(a, b) && !VcLeq(b, a);
+}
+
+}  // namespace bmx

@@ -11,15 +11,63 @@ Mutator::Mutator(Node* node) : node_(node) {
 
 Mutator::~Mutator() { node_->gc().RemoveRootProvider(this); }
 
-Gaddr Mutator::Alloc(BunchId bunch, uint32_t size_slots) {
-  return node_->gc().Allocate(bunch, size_slots);
+void Mutator::RecordHistory(HistoryOp op, Gaddr obj, uint32_t slot, uint64_t value,
+                            bool is_ref) const {
+#if !defined(BMX_DISABLE_HISTORY)
+  HistoryRecorder* recorder = node_->network()->history_recorder();
+  if (recorder == nullptr) {
+    return;
+  }
+  Gaddr resolved = node_->dsm().LocalCopyOf(obj);
+  if (!node_->store().HasObjectAt(resolved)) {
+    return;  // nothing local to attribute the event to
+  }
+  HistoryEvent event;
+  event.op = op;
+  event.oid = node_->store().HeaderOf(resolved)->oid;
+  event.slot = slot;
+  event.value = value;
+  event.is_ref = is_ref;
+  recorder->Record(node_->id(), std::move(event));
+#else
+  (void)op;
+  (void)obj;
+  (void)slot;
+  (void)value;
+  (void)is_ref;
+#endif
 }
 
-bool Mutator::AcquireRead(Gaddr addr) { return node_->dsm().AcquireRead(addr); }
+Gaddr Mutator::Alloc(BunchId bunch, uint32_t size_slots) {
+  Gaddr addr = node_->gc().Allocate(bunch, size_slots);
+  RecordHistory(HistoryOp::kAlloc, addr, 0, size_slots, false);
+  return addr;
+}
 
-bool Mutator::AcquireWrite(Gaddr addr) { return node_->dsm().AcquireWrite(addr); }
+bool Mutator::AcquireRead(Gaddr addr) {
+  bool ok = node_->dsm().AcquireRead(addr);
+  if (ok) {
+    // Recorded after success: the grant delivery (if any) has already joined
+    // the granter's clock into ours, so the acquire carries the edge.
+    RecordHistory(HistoryOp::kAcquireRead, addr, 0, 0, false);
+  }
+  return ok;
+}
 
-void Mutator::Release(Gaddr addr) { node_->dsm().Release(addr); }
+bool Mutator::AcquireWrite(Gaddr addr) {
+  bool ok = node_->dsm().AcquireWrite(addr);
+  if (ok) {
+    RecordHistory(HistoryOp::kAcquireWrite, addr, 0, 0, false);
+  }
+  return ok;
+}
+
+void Mutator::Release(Gaddr addr) {
+  // Recorded before the protocol release: anything the release triggers
+  // (deferred grants, invalidation acks) must causally follow the event.
+  RecordHistory(HistoryOp::kRelease, addr, 0, 0, false);
+  node_->dsm().Release(addr);
+}
 
 void Mutator::CheckWritable(Gaddr obj) const {
   if (!strict_) {
@@ -48,21 +96,27 @@ void Mutator::CheckReadable(Gaddr obj) const {
 void Mutator::WriteRef(Gaddr obj, size_t slot, Gaddr target) {
   CheckWritable(obj);
   node_->gc().WriteRef(obj, slot, target);
+  RecordHistory(HistoryOp::kWrite, obj, static_cast<uint32_t>(slot), target, true);
 }
 
 void Mutator::WriteWord(Gaddr obj, size_t slot, uint64_t value) {
   CheckWritable(obj);
   node_->gc().WriteWord(obj, slot, value);
+  RecordHistory(HistoryOp::kWrite, obj, static_cast<uint32_t>(slot), value, false);
 }
 
 Gaddr Mutator::ReadRef(Gaddr obj, size_t slot) const {
   CheckReadable(obj);
-  return node_->gc().ReadSlot(obj, slot);
+  Gaddr value = node_->gc().ReadSlot(obj, slot);
+  RecordHistory(HistoryOp::kRead, obj, static_cast<uint32_t>(slot), value, true);
+  return value;
 }
 
 uint64_t Mutator::ReadWord(Gaddr obj, size_t slot) const {
   CheckReadable(obj);
-  return node_->gc().ReadSlot(obj, slot);
+  uint64_t value = node_->gc().ReadSlot(obj, slot);
+  RecordHistory(HistoryOp::kRead, obj, static_cast<uint32_t>(slot), value, false);
+  return value;
 }
 
 size_t Mutator::AddRoot(Gaddr addr) {

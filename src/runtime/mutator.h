@@ -18,6 +18,7 @@
 
 #include "src/common/types.h"
 #include "src/gc/gc_engine.h"
+#include "src/runtime/history.h"
 #include "src/runtime/node.h"
 
 namespace bmx {
@@ -65,6 +66,11 @@ class Mutator : public RootProvider {
  private:
   void CheckWritable(Gaddr obj) const;
   void CheckReadable(Gaddr obj) const;
+  // Consistency-checker hook: records one client-observable event when the
+  // cluster has history recording enabled; a single branch otherwise (and
+  // nothing at all under BMX_DISABLE_HISTORY).
+  void RecordHistory(HistoryOp op, Gaddr obj, uint32_t slot, uint64_t value,
+                     bool is_ref) const;
 
   Node* node_;
   std::vector<Gaddr> roots_;

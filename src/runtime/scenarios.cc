@@ -1,7 +1,9 @@
 #include "src/runtime/scenarios.h"
 
 #include <memory>
+#include <vector>
 
+#include "src/common/rng.h"
 #include "src/runtime/mutator.h"
 
 namespace bmx {
@@ -153,6 +155,142 @@ ExplorerScenario CanaryReorderScenario() {
     if (m0.AcquireWrite(a)) {
       m0.WriteWord(a, 0, 7);
       m0.Release(a);
+    }
+    c.Pump();
+  };
+  return scenario;
+}
+
+ExplorerScenario StaleReadCanaryScenario() {
+  ExplorerScenario scenario;
+  scenario.name = "canary-stale-read";
+  scenario.make = ThreeNodes;
+  scenario.run = [](Cluster& c) {
+    Mutator m0(&c.node(0));
+    Mutator m1(&c.node(1));
+    Mutator m2(&c.node(2));
+    BunchId b = c.CreateBunch(0);
+    Gaddr a = m0.Alloc(b, 1);
+    m0.AddRoot(a);
+    m0.WriteWord(a, 0, 1);
+    c.Pump();
+    // Both readers replicate the object and read the initial value.
+    if (m1.AcquireRead(a)) {
+      (void)m1.ReadWord(a, 0);
+      m1.Release(a);
+    }
+    if (m2.AcquireRead(a)) {
+      (void)m2.ReadWord(a, 0);
+      m2.Release(a);
+    }
+    c.Pump();
+    // The bug: the owner's next invalidation fan-out skips node 1, so node
+    // 1's replica and read token survive the write upgrade.
+    c.node(0).dsm().PlantStaleReadBugForTesting(1);
+    if (m0.AcquireWrite(a)) {
+      m0.WriteWord(a, 0, 7);
+      m0.Release(a);
+    }
+    c.Pump();
+    // Node 1 re-enters on the cached-token fast path: no messages, no causal
+    // edge from the writer, stale bytes.  The checker flags the two critical
+    // sections as concurrent-with-a-writer.
+    if (m1.AcquireRead(a)) {
+      (void)m1.ReadWord(a, 0);
+      m1.Release(a);
+    }
+    c.Pump();
+  };
+  return scenario;
+}
+
+ExplorerScenario HistoryWorkloadScenario(const HistoryWorkloadOptions& options) {
+  ExplorerScenario scenario;
+  scenario.name = "history-workload";
+  HistoryWorkloadOptions opts = options;
+  scenario.make = [opts](uint64_t root_seed) {
+    return std::make_unique<Cluster>(ClusterOptions{
+        .num_nodes = static_cast<uint32_t>(opts.num_nodes), .seed = root_seed});
+  };
+  scenario.run = [opts](Cluster& c) {
+    Rng rng(DeriveStreamSeed(c.seed(), RngStream::kWorkload));
+    std::vector<std::unique_ptr<Mutator>> mutators;
+    std::vector<BunchId> bunches;
+    for (NodeId n = 0; n < opts.num_nodes; ++n) {
+      mutators.push_back(std::make_unique<Mutator>(&c.node(n)));
+      bunches.push_back(c.CreateBunch(n));
+    }
+    // Objects round-robin across creators; 3 slots each: [0] a creator-
+    // initialized word (legally unbracketed — creators allocate with the
+    // write token), [1] the contended word, [2] a reference slot.
+    std::vector<Gaddr> objs(opts.objects);
+    for (size_t j = 0; j < opts.objects; ++j) {
+      NodeId creator = static_cast<NodeId>(j % opts.num_nodes);
+      objs[j] = mutators[creator]->Alloc(bunches[creator], 3);
+      mutators[creator]->AddRoot(objs[j]);
+      mutators[creator]->WriteWord(objs[j], 0, j + 1);
+    }
+    for (size_t j = 0; j + 1 < opts.objects; ++j) {
+      NodeId creator = static_cast<NodeId>(j % opts.num_nodes);
+      mutators[creator]->WriteRef(objs[j], 2, objs[j + 1]);
+    }
+    c.Pump();
+    for (size_t i = 0; i < opts.ops; ++i) {
+      if (rng.Chance(opts.gc_chance)) {
+        NodeId n = static_cast<NodeId>(rng.Below(opts.num_nodes));
+        c.node(n).gc().CollectBunch(bunches[n]);
+        c.Pump();
+        continue;
+      }
+      NodeId n = static_cast<NodeId>(rng.Below(opts.num_nodes));
+      size_t j = rng.Below(opts.objects);
+      bool write_mode = rng.Chance(opts.write_fraction);
+      // The whole access plan is drawn before touching the cluster, so the
+      // rng stream advances identically even when the acquire is skipped or
+      // denied under an adversarial schedule.
+      struct PlannedAccess {
+        bool is_ref;
+        uint32_t slot;
+        uint64_t arg;
+      };
+      std::vector<PlannedAccess> plan;
+      do {
+        PlannedAccess a;
+        if (write_mode) {
+          a.is_ref = rng.Chance(0.3);
+          a.slot = a.is_ref ? 2u : 1u;
+          a.arg = a.is_ref ? rng.Below(opts.objects) : rng.Below(1000);
+        } else {
+          a.is_ref = rng.Chance(0.5);
+          a.slot = a.is_ref ? 2u : static_cast<uint32_t>(rng.Below(2));
+          a.arg = 0;
+        }
+        plan.push_back(a);
+      } while (rng.Chance(opts.extra_op_chance));
+      if (c.node(n).dsm().AcquireInFlight()) {
+        continue;  // an earlier denied acquire is still parked on this node
+      }
+      Mutator& m = *mutators[n];
+      bool ok = write_mode ? m.AcquireWrite(objs[j]) : m.AcquireRead(objs[j]);
+      if (!ok) {
+        continue;
+      }
+      for (const PlannedAccess& a : plan) {
+        if (write_mode) {
+          if (a.is_ref) {
+            m.WriteRef(objs[j], a.slot, objs[a.arg]);
+          } else {
+            m.WriteWord(objs[j], a.slot, a.arg);
+          }
+        } else {
+          if (a.is_ref) {
+            (void)m.ReadRef(objs[j], a.slot);
+          } else {
+            (void)m.ReadWord(objs[j], a.slot);
+          }
+        }
+      }
+      m.Release(objs[j]);
     }
     c.Pump();
   };

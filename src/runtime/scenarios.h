@@ -29,6 +29,36 @@ std::vector<ExplorerScenario> StandardScenarios();
 // Used by tests and CI to prove the find→record→shrink→replay pipeline works.
 ExplorerScenario CanaryReorderScenario();
 
+// The planted-consistency-bug workload (see
+// DsmNode::PlantStaleReadBugForTesting): fig3's shape with the bug armed at
+// the owner before its write upgrade, so node 1's replica is never
+// invalidated.  Node 1's next acquire hits the cached-token fast path — no
+// messages, no causal edge from the writer — and reads stale bytes inside a
+// critical section concurrent with the writer's.  Only the ConsistencyChecker
+// sees it as a consistency violation (run with check_consistency on); the
+// schedule does not matter, so any walk finds it and shrinking collapses the
+// trace to (near) nothing.
+ExplorerScenario StaleReadCanaryScenario();
+
+// Knobs of the randomized mutator workload below.  Every field is part of the
+// scenario's identity: the op sequence is a pure function of (knobs, cluster
+// seed), independent of the delivery schedule — acquires that fail under an
+// adversarial schedule consume their draws anyway and skip only the accesses.
+struct HistoryWorkloadOptions {
+  size_t num_nodes = 3;
+  size_t objects = 4;          // object fan-out (each on creator j % num_nodes)
+  size_t ops = 48;             // critical sections attempted
+  double write_fraction = 0.45;  // P(section is a write section)
+  double extra_op_chance = 0.35;  // P(another access inside the section)
+  double gc_chance = 0.12;     // P(an op is a bunch collection instead)
+};
+
+// A seeded random mutator mix — acquire/release brackets of random mode over
+// a shared object set, word and ref writes, re-reads, and GC pressure — for
+// exercising the ConsistencyChecker on histories with real contention.  Knobs
+// scale node count, fan-out, acquire density and GC pressure.
+ExplorerScenario HistoryWorkloadScenario(const HistoryWorkloadOptions& options = {});
+
 }  // namespace bmx
 
 #endif  // SRC_RUNTIME_SCENARIOS_H_

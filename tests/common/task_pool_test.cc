@@ -150,6 +150,88 @@ TEST(TaskPoolTest, EmptyAndSingletonRegions) {
   EXPECT_EQ(ran, 1u);
 }
 
+TEST(TaskPoolTest, ThrowFromStolenChunkRethrowsAndPoolSurvives) {
+  PoolGuard guard;
+  TaskPool::SetThreadsForTesting(4);
+  // The submitting thread dawdles in the low chunks so workers wake up and
+  // steal the tail; a high-indexed iteration then throws — from a stolen
+  // chunk on most schedules.  Whatever thread threw, the exception must
+  // surface on the submitting thread and the pool must stay usable.
+  std::string caught;
+  try {
+    TaskPool::Global().ParallelFor(256, [](size_t i) {
+      if (i < 8) {
+        std::this_thread::sleep_for(std::chrono::microseconds(300));
+      }
+      if (i == 200) {
+        throw std::runtime_error("stolen-boom");
+      }
+    });
+    FAIL() << "expected a rethrow";
+  } catch (const std::runtime_error& e) {
+    caught = e.what();
+  }
+  EXPECT_EQ(caught, "stolen-boom");
+  // No worker is wedged and no region flag leaked: the next region completes.
+  std::vector<uint64_t> got =
+      TaskPool::Global().ParallelMap<uint64_t>(64, [](size_t i) { return i; });
+  ASSERT_EQ(got.size(), 64u);
+  EXPECT_FALSE(TaskPool::InParallelRegion());
+}
+
+TEST(TaskPoolTest, ThrowFromNestedRegionPropagatesThroughWorker) {
+  PoolGuard guard;
+  TaskPool::SetThreadsForTesting(4);
+  // The nested (inline) region throws inside a worker's outer iteration; the
+  // outer region must deterministically rethrow the lowest outer chunk's
+  // exception, and nothing may deadlock on the single global region.
+  std::string caught;
+  try {
+    TaskPool::Global().ParallelFor(32, [](size_t i) {
+      TaskPool::Global().ParallelFor(16, [i](size_t j) {
+        if (i % 4 == 1 && j == 3) {
+          throw std::runtime_error("nested@" + std::to_string(i));
+        }
+      });
+    });
+    FAIL() << "expected a rethrow";
+  } catch (const std::runtime_error& e) {
+    caught = e.what();
+  }
+  // Outer index 1 is in the first outer chunk that throws; within a chunk,
+  // iteration is sequential, so it wins under every steal schedule.
+  EXPECT_EQ(caught, "nested@1");
+  std::vector<uint64_t> got =
+      TaskPool::Global().ParallelMap<uint64_t>(16, [](size_t i) { return i; });
+  ASSERT_EQ(got.size(), 16u);
+}
+
+TEST(TaskPoolTest, ResizeAfterFailedRegionsNeverWedges) {
+  PoolGuard guard;
+  // Interleave throwing regions with reconfiguration: a failed region must
+  // leave no state that makes the next resize (or the next region at the new
+  // width) hang or miscount.
+  for (size_t threads : {1u, 2u, 4u, 8u, 2u, 4u}) {
+    TaskPool::SetThreadsForTesting(threads);
+    try {
+      TaskPool::Global().ParallelFor(128, [](size_t i) {
+        if (i == 64) {
+          throw std::runtime_error("resize-boom");
+        }
+      });
+      FAIL() << "expected a rethrow (threads=" << threads << ")";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "resize-boom") << "threads=" << threads;
+    }
+    std::vector<uint64_t> got = TaskPool::Global().ParallelMap<uint64_t>(
+        100, [](size_t i) { return 3 * i; });
+    ASSERT_EQ(got.size(), 100u) << "threads=" << threads;
+    for (size_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(got[i], 3 * i) << "threads=" << threads;
+    }
+  }
+}
+
 TEST(TaskPoolTest, SetThreadsForTestingReconfigures) {
   PoolGuard guard;
   TaskPool::SetThreadsForTesting(3);

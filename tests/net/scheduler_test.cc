@@ -73,11 +73,26 @@ TEST(Trace, SerializeParseRoundtrip) {
 
 TEST(Trace, ParseRejectsUnversionedAndUnknown) {
   Trace out;
-  EXPECT_FALSE(Trace::Parse("root_seed: 1\n", &out));  // no version comment
-  EXPECT_FALSE(Trace::Parse("# bmx-trace v1\nwhatever: 3\n", &out));
-  EXPECT_FALSE(Trace::Parse("# bmx-trace v1\ndecision: 0 bogus-point 1\n", &out));
-  EXPECT_TRUE(Trace::Parse("# bmx-trace v1\nroot_seed: 9\n", &out));
+  EXPECT_FALSE(Trace::Parse("root_seed: 1\nend: 0\n", &out));  // no version comment
+  EXPECT_FALSE(Trace::Parse("# bmx-trace v1\nwhatever: 3\nend: 0\n", &out));
+  EXPECT_FALSE(Trace::Parse("# bmx-trace v1\ndecision: 0 bogus-point 1\nend: 1\n", &out));
+  EXPECT_TRUE(Trace::Parse("# bmx-trace v1\nroot_seed: 9\nend: 0\n", &out));
   EXPECT_EQ(out.root_seed, 9u);
+}
+
+TEST(Trace, ParseRequiresMatchingFooter) {
+  Trace out;
+  // No footer at all — a header-only prefix is a truncated trace now.
+  EXPECT_FALSE(Trace::Parse("# bmx-trace v1\nroot_seed: 9\n", &out));
+  // Footer count disagrees with the decision lines present.
+  EXPECT_FALSE(Trace::Parse(
+      "# bmx-trace v1\ndecision: 0 deliver-pick 1\nend: 2\n", &out));
+  // Content after the footer: corrupted.
+  EXPECT_FALSE(Trace::Parse("# bmx-trace v1\nend: 0\nroot_seed: 9\n", &out));
+  // Matching footer parses.
+  EXPECT_TRUE(Trace::Parse(
+      "# bmx-trace v1\ndecision: 0 deliver-pick 1\nend: 1\n", &out));
+  ASSERT_EQ(out.decisions.size(), 1u);
 }
 
 TEST(DecisionPointNames, RoundtripEveryPoint) {

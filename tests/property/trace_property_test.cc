@@ -1,0 +1,146 @@
+// Property tests for the `# bmx-trace v1` text format (docs/PROTOCOLS.md
+// §11): randomized DecisionLogs round-trip Serialize→Parse exactly, and any
+// truncation or structural corruption of the text is rejected with a clean
+// parse failure — never accepted as a silently shorter schedule.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/net/scheduler.h"
+
+namespace bmx {
+namespace {
+
+bool SameTrace(const Trace& a, const Trace& b) {
+  return a.root_seed == b.root_seed && a.walk_seed == b.walk_seed &&
+         a.scenario == b.scenario && a.scheduler == b.scheduler &&
+         a.total_decisions == b.total_decisions && a.decisions == b.decisions;
+}
+
+// A randomized sparse trace, the way real recordings produce them: strictly
+// increasing indices, any decision point, small values.
+Trace RandomTrace(Rng& rng) {
+  Trace t;
+  t.root_seed = rng.Next();
+  t.walk_seed = rng.Next();
+  const char* scenarios[] = {"fig1-ssp-chain", "fig3-invalidate-fanout",
+                             "history-workload", "x"};
+  const char* schedulers[] = {"fifo", "random-walk", "delay-bounded"};
+  t.scenario = scenarios[rng.Below(4)];
+  t.scheduler = schedulers[rng.Below(3)];
+  uint64_t index = 0;
+  size_t count = rng.Below(12);
+  for (size_t i = 0; i < count; ++i) {
+    index += 1 + rng.Below(40);
+    auto point = static_cast<DecisionPoint>(
+        rng.Below(static_cast<uint64_t>(DecisionPoint::kMaxPoint)));
+    t.decisions.push_back(Decision{index, point, rng.Below(8)});
+  }
+  t.total_decisions = index + rng.Below(20);
+  return t;
+}
+
+TEST(TraceProperty, RandomTracesRoundTrip) {
+  Rng rng(0x7ace5eed);
+  for (int iter = 0; iter < 200; ++iter) {
+    Trace t = RandomTrace(rng);
+    Trace back;
+    ASSERT_TRUE(Trace::Parse(t.Serialize(), &back)) << t.Serialize();
+    EXPECT_TRUE(SameTrace(t, back)) << t.Serialize();
+  }
+}
+
+// Recording through a DecisionLog (the producer the format exists for) and
+// parsing back what it serialized is lossless too.
+TEST(TraceProperty, RecordedDecisionLogsRoundTrip) {
+  Rng rng(0xdec151015);
+  for (int iter = 0; iter < 50; ++iter) {
+    DecisionLog log;
+    log.StartRecording();
+    size_t steps = 1 + rng.Below(60);
+    for (size_t s = 0; s < steps; ++s) {
+      auto point = static_cast<DecisionPoint>(
+          rng.Below(static_cast<uint64_t>(DecisionPoint::kMaxPoint)));
+      // Default 0; about half the live values are non-default and recorded.
+      log.Resolve(point, 0, [&] { return rng.Below(2); });
+    }
+    Trace t = log.TakeTrace();
+    t.scenario = "recorded";
+    t.scheduler = "random-walk";
+    t.root_seed = iter;
+    Trace back;
+    ASSERT_TRUE(Trace::Parse(t.Serialize(), &back));
+    EXPECT_TRUE(SameTrace(t, back));
+  }
+}
+
+// Truncation at EVERY byte boundary: the prefix either fails to parse or
+// (only when the cut removed nothing but the trailing newline) parses to the
+// identical trace.  A silent partial replay — success with fewer decisions —
+// is the failure mode this guards against.
+TEST(TraceProperty, EveryTruncationRejectedOrIdentical) {
+  Rng rng(0x7c0bbed);
+  for (int iter = 0; iter < 40; ++iter) {
+    Trace t = RandomTrace(rng);
+    std::string text = t.Serialize();
+    for (size_t cut = 0; cut < text.size(); ++cut) {
+      Trace out;
+      if (Trace::Parse(text.substr(0, cut), &out)) {
+        EXPECT_TRUE(SameTrace(t, out))
+            << "cut at " << cut << " of " << text.size() << " parsed as a "
+            << "different trace:\n" << text;
+      }
+    }
+  }
+}
+
+// Deleting any single decision line makes the footer count disagree.
+TEST(TraceProperty, DroppedDecisionLineRejected) {
+  Rng rng(0xde1e7ed);
+  for (int iter = 0; iter < 40; ++iter) {
+    Trace t = RandomTrace(rng);
+    if (t.decisions.empty()) {
+      continue;
+    }
+    std::string text = t.Serialize();
+    size_t victim = rng.Below(t.decisions.size());
+    for (size_t pos = 0;;) {
+      size_t eol = text.find('\n', pos);
+      ASSERT_NE(eol, std::string::npos);
+      if (text.compare(pos, 10, "decision: ") == 0 && victim-- == 0) {
+        text.erase(pos, eol - pos + 1);
+        break;
+      }
+      pos = eol + 1;
+    }
+    Trace out;
+    EXPECT_FALSE(Trace::Parse(text, &out)) << text;
+  }
+}
+
+// Structural corruption: bogus keys, bogus decision points, a lying footer.
+TEST(TraceProperty, CorruptedTracesRejected) {
+  Rng rng(0xc0bb);
+  for (int iter = 0; iter < 40; ++iter) {
+    Trace t = RandomTrace(rng);
+    std::string text = t.Serialize();
+    Trace out;
+    // Unknown key injected before the footer.
+    std::string with_key = text;
+    with_key.insert(with_key.find("end: "), "mystery: 1\n");
+    EXPECT_FALSE(Trace::Parse(with_key, &out));
+    // Footer count off by one.
+    std::string bad_end = text.substr(0, text.find("end: ")) +
+                          "end: " + std::to_string(t.decisions.size() + 1) + "\n";
+    EXPECT_FALSE(Trace::Parse(bad_end, &out));
+    // Version header removed entirely.
+    std::string headless = text.substr(text.find('\n') + 1);
+    EXPECT_FALSE(Trace::Parse(headless, &out));
+  }
+}
+
+}  // namespace
+}  // namespace bmx

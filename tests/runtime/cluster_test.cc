@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "src/baselines/payloads.h"
+#include "src/common/fault_injector.h"
 #include "src/runtime/cluster.h"
 #include "src/runtime/mutator.h"
 #include "src/workload/graph_builder.h"
@@ -89,6 +90,65 @@ TEST(Cluster, NodeRoutesUnknownKindsToExtraHandlerCheck) {
   auto payload = std::make_shared<StwResumePayload>();
   cluster.network().Send(0, 1, std::move(payload));
   EXPECT_DEATH(cluster.Pump(), "no handler");
+}
+
+// RunUntilIdle must quiesce with a partition un-healed AND a crash fault
+// armed at the same time: the two outage mechanisms interact (parked
+// partition traffic, a mid-pump crash converting more traffic to held, and a
+// still-armed never-firing schedule) and none of them may leave the pump
+// spinning or owing a reachable retransmission.
+TEST(Cluster, QuiescesUnderUnhealedPartitionWithArmedCrashFault) {
+  FaultInjector::Global().Reset();
+  Cluster cluster({.num_nodes = 3});
+  Mutator m0(&cluster.node(0));
+  BunchId bunch = cluster.CreateBunch(0);
+  Gaddr a = m0.Alloc(bunch, 1);
+  m0.AddRoot(a);
+  {
+    // Scoped: these mutators must not outlive node 2's crash below.
+    Mutator m1(&cluster.node(1));
+    Mutator m2(&cluster.node(2));
+    ASSERT_TRUE(m1.AcquireRead(a));
+    m1.Release(a);
+    ASSERT_TRUE(m2.AcquireRead(a));
+    m2.Release(a);
+  }
+  cluster.Pump();
+
+  // Node 1 is unreachable; node 2 dies mid-handler when the owner's
+  // invalidation reaches it (the network converts the signal to a crash).
+  cluster.PartitionNodes(0, 1);
+  FaultInjector::Global().Arm("dsm.invalidate.pre_ack", /*node=*/2, /*kth_hit=*/1);
+  // An armed schedule that never matches must not block quiescence either.
+  FaultInjector::Global().Arm("dsm.grant.pre_send", /*node=*/1, /*kth_hit=*/50);
+
+  // Owner-side write upgrade: starts the copyset invalidation and pumps
+  // internally.  It cannot complete — node 1's ack is parked behind the
+  // partition and node 2 dies before acking — so it must return false
+  // without wedging the pump.
+  EXPECT_FALSE(cluster.node(0).dsm().AcquireWrite(a));
+  cluster.Pump();
+
+  EXPECT_TRUE(cluster.network().Idle());
+  EXPECT_FALSE(cluster.IsAlive(2));
+  // The invalidations are owed: parked behind the partition (node 1) and
+  // held for the dead node (node 2) — but nothing reachable is left owing.
+  EXPECT_GT(cluster.network().UnackedCount(), 0u);
+  EXPECT_EQ(cluster.network().ReachableUnackedCount(), 0u);
+
+  // Healing the partition drains node 1's share without touching node 2's.
+  cluster.HealPartition(0, 1);
+  cluster.Pump();
+  EXPECT_TRUE(cluster.network().Idle());
+  EXPECT_EQ(cluster.network().ReachableUnackedCount(), 0u);
+  EXPECT_EQ(cluster.network().UnackedCount(), cluster.network().HeldCount());
+
+  // And a restarted node 2 absorbs the rest: fully drained.
+  FaultInjector::Global().Reset();
+  cluster.RestartNode(2);
+  cluster.Pump();
+  EXPECT_TRUE(cluster.network().Idle());
+  EXPECT_EQ(cluster.network().UnackedCount(), 0u);
 }
 
 TEST(Cluster, SharedDiskSurvivesAllCrashes) {

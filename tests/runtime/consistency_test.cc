@@ -1,0 +1,295 @@
+// ConsistencyChecker tests: checker verdicts on hand-built histories, the
+// planted stale-read bug caught end-to-end through the Explorer (found,
+// shrunk, replayed at multiple thread counts), clean sweeps staying clean,
+// and the recording-off path leaving traffic fingerprints bit-identical.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/task_pool.h"
+#include "src/runtime/consistency_checker.h"
+#include "src/runtime/history.h"
+#include "src/runtime/scenarios.h"
+
+namespace bmx {
+namespace {
+
+// Restores the pool thread count on scope exit (mirrors task_pool_test.cc).
+struct PoolGuard {
+  ~PoolGuard() { TaskPool::SetThreadsForTesting(TaskPool::EnvThreads()); }
+};
+
+bool AnyConsistencyViolation(const std::vector<std::string>& violations) {
+  for (const std::string& v : violations) {
+    if (v.find("consistency: ") != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+HistoryEvent Ev(HistoryOp op, Oid oid, uint32_t slot = 0, uint64_t value = 0) {
+  HistoryEvent e;
+  e.op = op;
+  e.oid = oid;
+  e.slot = slot;
+  e.value = value;
+  return e;
+}
+
+// --- Vector clock basics ---
+
+TEST(VectorClock, LeqAndConcurrency) {
+  VectorClock a{1, 2, 0};
+  VectorClock b{1, 3, 0};
+  VectorClock c{2, 1, 0};
+  EXPECT_TRUE(VcLeq(a, b));
+  EXPECT_FALSE(VcLeq(b, a));
+  EXPECT_TRUE(VcLeq(a, a));
+  EXPECT_FALSE(VcConcurrent(a, b));
+  EXPECT_TRUE(VcConcurrent(b, c));
+}
+
+TEST(HistoryRecorder, SendDeliverJoinsClocks) {
+  HistoryRecorder rec(2);
+  rec.Record(0, Ev(HistoryOp::kWrite, 1, 0, 7));
+  rec.OnSend(0, 1, 42);
+  EXPECT_EQ(rec.ClockOf(1)[0], 0u);  // nothing joined yet
+  rec.OnDeliver(0, 1, 42);
+  EXPECT_GE(rec.ClockOf(1)[0], 2u);  // write + send ticks visible at node 1
+  // Duplicate wire copy: idempotent join.
+  VectorClock before = rec.ClockOf(1);
+  rec.OnDeliver(0, 1, 42);
+  EXPECT_EQ(rec.ClockOf(1)[0], before[0]);
+  EXPECT_EQ(rec.TotalEvents(), 1u);
+}
+
+// --- Checker verdicts on hand-built histories (no directory) ---
+
+// Two sections on one object from different nodes, one with a write and no
+// causal edge between them: the concurrent-conflict check fires.
+TEST(ConsistencyChecker, ConcurrentWriterSectionsFlagged) {
+  HistoryRecorder rec(2);
+  rec.Record(0, Ev(HistoryOp::kAcquireWrite, 5));
+  rec.Record(0, Ev(HistoryOp::kWrite, 5, 0, 7));
+  rec.Record(0, Ev(HistoryOp::kRelease, 5));
+  rec.Record(1, Ev(HistoryOp::kAcquireRead, 5));
+  rec.Record(1, Ev(HistoryOp::kRead, 5, 0, 0));
+  rec.Record(1, Ev(HistoryOp::kRelease, 5));
+  ConsistencyChecker checker(&rec, nullptr);
+  std::vector<std::string> violations = checker.Check();
+  ASSERT_FALSE(violations.empty());
+  bool conflict = false;
+  for (const std::string& v : violations) {
+    conflict = conflict || v.find("conflict:") != std::string::npos;
+  }
+  EXPECT_TRUE(conflict) << violations[0];
+}
+
+// The same shape with the causal edge restored (writer's release reaches the
+// reader before its acquire, and the reader sees the written value): clean.
+TEST(ConsistencyChecker, OrderedSectionsAreClean) {
+  HistoryRecorder rec(2);
+  rec.Record(0, Ev(HistoryOp::kAcquireWrite, 5));
+  rec.Record(0, Ev(HistoryOp::kWrite, 5, 0, 7));
+  rec.Record(0, Ev(HistoryOp::kRelease, 5));
+  rec.OnSend(0, 1, 1);
+  rec.OnDeliver(0, 1, 1);  // e.g. the read grant carrying the bytes
+  rec.Record(1, Ev(HistoryOp::kAcquireRead, 5));
+  rec.Record(1, Ev(HistoryOp::kRead, 5, 0, 7));
+  rec.Record(1, Ev(HistoryOp::kRelease, 5));
+  ConsistencyChecker checker(&rec, nullptr);
+  EXPECT_TRUE(checker.Check().empty());
+}
+
+// Two readers with no mutual edge are fine: read-read sections don't
+// conflict.
+TEST(ConsistencyChecker, ConcurrentReaderSectionsAreClean) {
+  HistoryRecorder rec(2);
+  rec.Record(0, Ev(HistoryOp::kAcquireRead, 5));
+  rec.Record(0, Ev(HistoryOp::kRead, 5, 0, 3));
+  rec.Record(0, Ev(HistoryOp::kRelease, 5));
+  rec.Record(1, Ev(HistoryOp::kAcquireRead, 5));
+  rec.Record(1, Ev(HistoryOp::kRead, 5, 0, 3));
+  rec.Record(1, Ev(HistoryOp::kRelease, 5));
+  ConsistencyChecker checker(&rec, nullptr);
+  EXPECT_TRUE(checker.Check().empty());
+}
+
+// Bracket discipline: the creator may access unbracketed (implicit write
+// token from allocation); anyone else must be inside a section.
+TEST(ConsistencyChecker, CreatorUnbracketedOkOthersNot) {
+  HistoryRecorder rec(2);
+  rec.Record(0, Ev(HistoryOp::kAlloc, 5, 0, 2));
+  rec.Record(0, Ev(HistoryOp::kWrite, 5, 0, 1));  // creator, unbracketed: ok
+  ConsistencyChecker clean_checker(&rec, nullptr);
+  EXPECT_TRUE(clean_checker.Check().empty());
+  rec.OnSend(0, 1, 1);
+  rec.OnDeliver(0, 1, 1);
+  rec.Record(1, Ev(HistoryOp::kRead, 5, 0, 1));  // non-creator, unbracketed
+  ConsistencyChecker checker(&rec, nullptr);
+  std::vector<std::string> violations = checker.Check();
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations[0].find("bracket:"), std::string::npos) << violations[0];
+}
+
+// Release with no open section is a bracket violation too.
+TEST(ConsistencyChecker, BareReleaseFlagged) {
+  HistoryRecorder rec(1);
+  rec.Record(0, Ev(HistoryOp::kRelease, 5));
+  ConsistencyChecker checker(&rec, nullptr);
+  std::vector<std::string> violations = checker.Check();
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations[0].find("bracket:"), std::string::npos) << violations[0];
+}
+
+// A stale read: the reader's section is causally after the write section but
+// returns the pre-write value.
+TEST(ConsistencyChecker, StaleReadValueFlagged) {
+  HistoryRecorder rec(2);
+  rec.Record(0, Ev(HistoryOp::kAcquireWrite, 5));
+  rec.Record(0, Ev(HistoryOp::kWrite, 5, 0, 7));
+  rec.Record(0, Ev(HistoryOp::kRelease, 5));
+  rec.OnSend(0, 1, 1);
+  rec.OnDeliver(0, 1, 1);
+  rec.Record(1, Ev(HistoryOp::kAcquireRead, 5));
+  rec.Record(1, Ev(HistoryOp::kRead, 5, 0, 1));  // stale: latest hb write is 7
+  rec.Record(1, Ev(HistoryOp::kRelease, 5));
+  ConsistencyChecker checker(&rec, nullptr);
+  std::vector<std::string> violations = checker.Check();
+  ASSERT_FALSE(violations.empty());
+  bool stale = false;
+  for (const std::string& v : violations) {
+    stale = stale || v.find("stale-read:") != std::string::npos;
+  }
+  EXPECT_TRUE(stale) << violations[0];
+}
+
+// Intra-section stability: a re-read that changes value with no local write
+// in between.
+TEST(ConsistencyChecker, IntraSectionReReadInstabilityFlagged) {
+  HistoryRecorder rec(1);
+  rec.Record(0, Ev(HistoryOp::kAlloc, 5, 0, 2));
+  rec.Record(0, Ev(HistoryOp::kAcquireRead, 5));
+  rec.Record(0, Ev(HistoryOp::kRead, 5, 0, 1));
+  rec.Record(0, Ev(HistoryOp::kRead, 5, 0, 2));  // changed under our feet
+  rec.Record(0, Ev(HistoryOp::kRelease, 5));
+  ConsistencyChecker checker(&rec, nullptr);
+  std::vector<std::string> violations = checker.Check();
+  ASSERT_FALSE(violations.empty());
+}
+
+// --- End-to-end: the planted stale-read bug through the Explorer ---
+
+// The planted bug is schedule-independent, so even the single FIFO walk finds
+// it — but only when consistency checking is on (the traffic itself is
+// perfectly ordinary).
+TEST(ConsistencyExplorer, PlantedStaleReadCaughtUnderFifo) {
+  ExplorerOptions options;
+  options.schedule = ScheduleKind::kFifo;
+  options.check_consistency = true;
+  Explorer explorer(options);
+  ExplorationResult result = explorer.Explore(StaleReadCanaryScenario());
+  ASSERT_TRUE(result.violation_found);
+  EXPECT_TRUE(AnyConsistencyViolation(result.violations))
+      << (result.violations.empty() ? "" : result.violations[0]);
+}
+
+// Explorer pipeline end to end under random walks: found, shrunk, and the
+// shrunk trace replays to the same verdict at 1 and 4 pool threads.
+TEST(ConsistencyExplorer, StaleReadShrinksAndReplaysAcrossThreadCounts) {
+  PoolGuard guard;
+  ExplorerOptions options;
+  options.schedule = ScheduleKind::kRandomWalk;
+  options.num_walks = 8;
+  options.check_consistency = true;
+  Explorer explorer(options);
+  ExplorationResult result = explorer.Explore(StaleReadCanaryScenario());
+  ASSERT_TRUE(result.violation_found);
+  EXPECT_TRUE(AnyConsistencyViolation(result.violations));
+  // Schedule-independent bug: shrinking strips every recorded deviation.
+  EXPECT_TRUE(result.shrunk.decisions.empty())
+      << result.shrunk.decisions.size() << " decisions survived shrinking";
+  for (size_t threads : {1u, 4u}) {
+    TaskPool::SetThreadsForTesting(threads);
+    RunResult replay = explorer.Replay(StaleReadCanaryScenario(), result.shrunk);
+    EXPECT_TRUE(replay.violated) << "threads=" << threads;
+    EXPECT_TRUE(AnyConsistencyViolation(replay.violations)) << "threads=" << threads;
+  }
+}
+
+// Without the planted bug the same scenarios must be silent: fig1-4 plus the
+// randomized workload, each under a few random walks with checking on.
+TEST(ConsistencyExplorer, CleanScenariosStayClean) {
+  std::vector<ExplorerScenario> scenarios = StandardScenarios();
+  scenarios.push_back(HistoryWorkloadScenario());
+  for (const ExplorerScenario& scenario : scenarios) {
+    ExplorerOptions options;
+    options.schedule = ScheduleKind::kRandomWalk;
+    options.num_walks = 6;
+    options.check_consistency = true;
+    Explorer explorer(options);
+    ExplorationResult result = explorer.Explore(scenario);
+    EXPECT_FALSE(result.violation_found)
+        << scenario.name << ": "
+        << (result.violations.empty() ? "" : result.violations[0]);
+  }
+}
+
+// Heavier knobs — more nodes, more objects, more GC pressure — still clean.
+TEST(ConsistencyExplorer, ScaledWorkloadStaysClean) {
+  HistoryWorkloadOptions knobs;
+  knobs.num_nodes = 4;
+  knobs.objects = 6;
+  knobs.ops = 80;
+  knobs.gc_chance = 0.2;
+  ExplorerOptions options;
+  options.schedule = ScheduleKind::kDelayBounded;
+  options.num_walks = 4;
+  options.check_consistency = true;
+  Explorer explorer(options);
+  ExplorationResult result = explorer.Explore(HistoryWorkloadScenario(knobs));
+  EXPECT_FALSE(result.violation_found)
+      << (result.violations.empty() ? "" : result.violations[0]);
+}
+
+// --- Zero-overhead-when-disabled contract ---
+
+// Recording must be pure observation: the same FIFO run with and without a
+// recorder attached produces bit-identical traffic fingerprints.
+TEST(ConsistencyRecording, FingerprintsIdenticalWithRecordingOnAndOff) {
+  std::vector<ExplorerScenario> scenarios = StandardScenarios();
+  scenarios.push_back(StaleReadCanaryScenario());
+  scenarios.push_back(HistoryWorkloadScenario());
+  for (const ExplorerScenario& scenario : scenarios) {
+    std::string prints[2];
+    for (int recording = 0; recording < 2; ++recording) {
+      ExplorerOptions options;
+      options.schedule = ScheduleKind::kFifo;
+      options.check_consistency = recording == 1;
+      Explorer explorer(options);
+      prints[recording] = explorer.Explore(scenario).fingerprint;
+    }
+    EXPECT_EQ(prints[0], prints[1]) << scenario.name;
+  }
+}
+
+// The recorder actually fills up, and the perf counters see both the events
+// and the checker verdicts.
+TEST(ConsistencyRecording, CountersTrackEventsAndChecks) {
+  GlobalPerfCounters().Reset();
+  ExplorerOptions options;
+  options.schedule = ScheduleKind::kFifo;
+  options.check_consistency = true;
+  Explorer explorer(options);
+  ExplorationResult result = explorer.Explore(HistoryWorkloadScenario());
+  EXPECT_FALSE(result.violation_found);
+  EXPECT_GT(GlobalPerfCounters().history_events_recorded, 0u);
+  EXPECT_GT(GlobalPerfCounters().consistency_checks_run, 0u);
+  EXPECT_EQ(GlobalPerfCounters().consistency_violations, 0u);
+}
+
+}  // namespace
+}  // namespace bmx
