@@ -1,0 +1,108 @@
+// F4: liveness-oracle cost model.
+//
+// The obligation tracker rides inside the protocol hot paths (every acquire,
+// invalidation, grant, reclaim round and recovery opens/closes a ledger
+// entry), so its price must be measured, not assumed:
+//   * Tracking overhead on the E2 (replicated list build) and E6 (acquire
+//     round) smoke shapes, ledger enabled vs disabled — the acceptance bar
+//     is <= 5% on these paths.  Disabled, the hooks are a single branch.
+//   * The oracle's verdict path itself (excuse evaluation over a snapshot),
+//     which explorer sweeps run once per window and once at quiescence.
+
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/runtime/explorer.h"
+#include "src/runtime/liveness.h"
+#include "src/runtime/scenarios.h"
+
+namespace bmx {
+namespace {
+
+// E2 shape: build a list at node 0 and replicate it on 4 of 8 nodes —
+// acquire/grant traffic with copyset growth — with the ledger on or off.
+void BM_F4_TrackingOverheadE2(benchmark::State& state) {
+  const bool tracking = state.range(0) != 0;
+  uint64_t opened = 0;
+  for (auto _ : state) {
+    BenchRig rig(8);
+    if (tracking) {
+      rig.cluster.network().obligations().Enable();
+    }
+    BunchId bunch = rig.cluster.CreateBunch(0);
+    rig.BuildReplicatedList(bunch, 64, 4);
+    benchmark::DoNotOptimize(rig.cluster.network().stats());
+  }
+  opened = GlobalPerfCounters().obligations_opened;
+  state.counters["opened"] = static_cast<double>(opened);
+}
+BENCHMARK(BM_F4_TrackingOverheadE2)->Arg(0)->Arg(1);
+
+// E6 shape: a contended acquire round — two nodes ping-ponging write tokens
+// over a shared object set, the densest open/close traffic per message.
+void BM_F4_TrackingOverheadE6(benchmark::State& state) {
+  const bool tracking = state.range(0) != 0;
+  for (auto _ : state) {
+    BenchRig rig(2);
+    if (tracking) {
+      rig.cluster.network().obligations().Enable();
+    }
+    BunchId bunch = rig.cluster.CreateBunch(0);
+    std::vector<Gaddr> objs;
+    for (int i = 0; i < 32; ++i) {
+      Gaddr o = rig.mutators[0]->Alloc(bunch, 2);
+      rig.mutators[0]->AddRoot(o);
+      objs.push_back(o);
+    }
+    rig.cluster.Pump();
+    for (int round = 0; round < 4; ++round) {
+      for (Gaddr o : objs) {
+        Mutator& m = *rig.mutators[(round + 1) % 2];
+        if (m.AcquireWrite(o)) {
+          m.WriteWord(o, 1, static_cast<uint64_t>(round));
+          m.Release(o);
+        }
+      }
+    }
+    rig.cluster.Pump();
+    benchmark::DoNotOptimize(rig.cluster.network().stats());
+  }
+}
+BENCHMARK(BM_F4_TrackingOverheadE6)->Arg(0)->Arg(1);
+
+// The oracle verdict path the explorer pays per window and at quiescence:
+// snapshot + excuse evaluation over the randomized workload's final state.
+void BM_F4_OracleVerdict(benchmark::State& state) {
+  ExplorerScenario scenario = HistoryWorkloadScenario();
+  std::unique_ptr<Cluster> cluster = scenario.make(1);
+  LivenessOracle oracle(cluster.get());
+  scenario.run(*cluster);
+  cluster->Pump();
+  for (auto _ : state) {
+    auto verdicts = oracle.CheckAtQuiescence();
+    benchmark::DoNotOptimize(verdicts);
+  }
+  state.counters["open"] =
+      static_cast<double>(cluster->network().obligations().OpenCount());
+}
+BENCHMARK(BM_F4_OracleVerdict);
+
+// Full explorer verdict path with liveness checking, the shape CI's
+// liveness sweep executes per walk.
+void BM_F4_ExplorerVerdict(benchmark::State& state) {
+  ExplorerScenario scenario = HistoryWorkloadScenario();
+  for (auto _ : state) {
+    ExplorerOptions options;
+    options.schedule = ScheduleKind::kFifo;
+    options.check_liveness = true;
+    Explorer explorer(options);
+    ExplorationResult result = explorer.Explore(scenario);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_F4_ExplorerVerdict);
+
+}  // namespace
+}  // namespace bmx
+
+BMX_BENCHMARK_MAIN();

@@ -86,7 +86,10 @@ inline void PrintPerfCounters() {
       "recovery_query_bytes=%llu\n"
       "[perf] pool_regions=%llu pool_chunks_executed=%llu pool_steals=%llu\n"
       "[perf] history_events_recorded=%llu consistency_checks_run=%llu "
-      "consistency_violations=%llu\n",
+      "consistency_violations=%llu\n"
+      "[perf] zombie_dropped_msgs=%llu obligations_opened=%llu "
+      "obligations_retired=%llu liveness_checks_run=%llu "
+      "liveness_violations=%llu\n",
       static_cast<unsigned long long>(p.slots_scanned),
       static_cast<unsigned long long>(p.words_skipped),
       static_cast<unsigned long long>(p.objects_walked),
@@ -108,7 +111,12 @@ inline void PrintPerfCounters() {
       static_cast<unsigned long long>(p.pool_steals),
       static_cast<unsigned long long>(p.history_events_recorded),
       static_cast<unsigned long long>(p.consistency_checks_run),
-      static_cast<unsigned long long>(p.consistency_violations));
+      static_cast<unsigned long long>(p.consistency_violations),
+      static_cast<unsigned long long>(p.zombie_dropped_msgs),
+      static_cast<unsigned long long>(p.obligations_opened),
+      static_cast<unsigned long long>(p.obligations_retired),
+      static_cast<unsigned long long>(p.liveness_checks_run),
+      static_cast<unsigned long long>(p.liveness_violations));
 }
 
 // Bench entry point shared by every binary.  Extends google-benchmark's CLI

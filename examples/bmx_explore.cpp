@@ -9,15 +9,25 @@
 //               [--schedule fifo|random-walk|delay-bounded]
 //               [--delay-bound N] [--deviation-rate R] [--stride N]
 //               [--trace-dir DIR] [--scenario NAME] [--canary]
-//               [--stale-canary] [--consistency] [--workload] [--list]
+//               [--stale-canary] [--zombie-canary] [--consistency]
+//               [--liveness] [--gray SPEC] [--zombie NODE]
+//               [--workload] [--list]
 //
 // --canary swaps in the planted-ordering-bug scenario (a self-test of the
 // find→shrink→replay pipeline: it MUST violate, and the run fails if the
 // explorer misses it).  --stale-canary does the same with the planted
 // stale-read bug, which only the consistency checker can see (it implies
-// --consistency).  --consistency records client histories and adds
-// ConsistencyChecker verdicts to every walk; --workload appends the
-// randomized mutator workload to the scenario set.
+// --consistency).  --zombie-canary does the same with the planted-livelock
+// scenario, which only the liveness oracle can see (it implies --liveness).
+// --consistency records client histories and adds ConsistencyChecker
+// verdicts to every walk; --liveness tracks protocol obligations and adds
+// LivenessOracle verdicts; --workload appends the randomized mutator
+// workload to the scenario set.
+//
+// --gray installs a gray-failure profile (see src/net/gray_failure.h for the
+// DSL, e.g. "0->1:lat=4,loss=0.2") inside every scenario closure, so walks,
+// shrinking and replay all run under the same degraded links.  --zombie N
+// (repeatable) shorthands a node-level zombie in the same spec.
 
 #include <cstdio>
 #include <cstdlib>
@@ -25,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "src/net/gray_failure.h"
 #include "src/runtime/explorer.h"
 #include "src/runtime/scenarios.h"
 
@@ -62,8 +73,10 @@ int main(int argc, char** argv) {
   std::string only_scenario;
   bool canary = false;
   bool stale_canary = false;
+  bool zombie_canary = false;
   bool workload = false;
   bool list = false;
+  GraySpec gray;
 
   for (int i = 1; i < argc; ++i) {
     auto next = [&](const char* flag) -> const char* {
@@ -106,8 +119,25 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--stale-canary") == 0) {
       stale_canary = true;
       options.check_consistency = true;
+    } else if (std::strcmp(argv[i], "--zombie-canary") == 0) {
+      zombie_canary = true;
+      options.check_liveness = true;
     } else if (std::strcmp(argv[i], "--consistency") == 0) {
       options.check_consistency = true;
+    } else if (std::strcmp(argv[i], "--liveness") == 0) {
+      options.check_liveness = true;
+    } else if (std::strcmp(argv[i], "--gray") == 0) {
+      GraySpec parsed;
+      std::string error;
+      if (!GraySpec::Parse(next("--gray"), &parsed, &error)) {
+        std::fprintf(stderr, "bad --gray spec: %s\n", error.c_str());
+        return 2;
+      }
+      gray.links.insert(gray.links.end(), parsed.links.begin(), parsed.links.end());
+      gray.zombie_nodes.insert(gray.zombie_nodes.end(), parsed.zombie_nodes.begin(),
+                               parsed.zombie_nodes.end());
+    } else if (std::strcmp(argv[i], "--zombie") == 0) {
+      gray.zombie_nodes.push_back(static_cast<NodeId>(ParseU64(next("--zombie"))));
     } else if (std::strcmp(argv[i], "--workload") == 0) {
       workload = true;
     } else if (std::strcmp(argv[i], "--list") == 0) {
@@ -123,6 +153,8 @@ int main(int argc, char** argv) {
     scenarios.push_back(CanaryReorderScenario());
   } else if (stale_canary) {
     scenarios.push_back(StaleReadCanaryScenario());
+  } else if (zombie_canary) {
+    scenarios.push_back(ZombieGrantCanaryScenario());
   } else {
     std::vector<ExplorerScenario> all = StandardScenarios();
     if (workload) {
@@ -132,6 +164,19 @@ int main(int argc, char** argv) {
       if (only_scenario.empty() || s.name == only_scenario) {
         scenarios.push_back(std::move(s));
       }
+    }
+  }
+  if (!gray.Empty()) {
+    // Wrap every scenario so the profile is installed inside the closure:
+    // recorded traces then replay (and shrink) under the same degraded links.
+    std::printf("bmx_explore: gray profile \"%s\"\n", gray.ToString().c_str());
+    for (ExplorerScenario& s : scenarios) {
+      auto inner = s.run;
+      GraySpec spec = gray;
+      s.run = [inner, spec](Cluster& c) {
+        spec.Apply(&c.network());
+        inner(c);
+      };
     }
   }
   if (list) {
@@ -164,8 +209,8 @@ int main(int argc, char** argv) {
     any_violation |= result.violation_found;
   }
 
-  if (canary || stale_canary) {
-    const char* which = canary ? "canary" : "stale-canary";
+  if (canary || stale_canary || zombie_canary) {
+    const char* which = canary ? "canary" : stale_canary ? "stale-canary" : "zombie-canary";
     if (!any_violation) {
       std::fprintf(stderr, "%s self-test FAILED: explorer missed the planted bug\n", which);
       return 1;

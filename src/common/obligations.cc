@@ -1,0 +1,98 @@
+#include "src/common/obligations.h"
+
+#include <algorithm>
+
+#include "src/common/perf_counters.h"
+
+namespace bmx {
+
+const char* ObligationKindName(ObligationKind kind) {
+  switch (kind) {
+    case ObligationKind::kAcquire: return "acquire";
+    case ObligationKind::kInvalidation: return "invalidation";
+    case ObligationKind::kPendingGrant: return "pending-grant";
+    case ObligationKind::kGcReclaim: return "gc-reclaim";
+    case ObligationKind::kRecovery: return "recovery";
+    case ObligationKind::kRetention: return "retention";
+  }
+  return "unknown";
+}
+
+size_t ObligationTracker::Find(ObligationKind kind, NodeId node,
+                               uint64_t key) const {
+  for (size_t i = 0; i < open_.size(); ++i) {
+    const Obligation& o = open_[i];
+    if (o.kind == kind && o.node == node && o.key == key) return i;
+  }
+  return open_.size();
+}
+
+void ObligationTracker::OpenSlow(ObligationKind kind, NodeId node, uint64_t key) {
+  if (Find(kind, node, key) != open_.size()) return;  // keep original opened_at
+  uint64_t t = now();
+  open_.push_back(Obligation{kind, node, key, t, t + deadline_ticks_});
+  GlobalPerfCounters().obligations_opened++;
+}
+
+void ObligationTracker::CloseSlow(ObligationKind kind, NodeId node, uint64_t key) {
+  size_t i = Find(kind, node, key);
+  if (i == open_.size()) return;
+  open_[i] = open_.back();
+  open_.pop_back();
+  retired_++;
+  GlobalPerfCounters().obligations_retired++;
+}
+
+void ObligationTracker::DropNode(NodeId node) {
+  if (!enabled_) return;
+  for (size_t i = 0; i < open_.size();) {
+    if (open_[i].node == node) {
+      open_[i] = open_.back();
+      open_.pop_back();
+    } else {
+      ++i;
+    }
+  }
+}
+
+bool ObligationTracker::IsOpen(ObligationKind kind, NodeId node, uint64_t key) const {
+  return Find(kind, node, key) != open_.size();
+}
+
+namespace {
+// Deterministic ledger order for snapshots and dumps, independent of the
+// swap-erase churn in the flat store.
+void SortLedger(std::vector<Obligation>* out) {
+  std::sort(out->begin(), out->end(),
+            [](const Obligation& a, const Obligation& b) {
+              if (a.kind != b.kind) return a.kind < b.kind;
+              if (a.node != b.node) return a.node < b.node;
+              return a.key < b.key;
+            });
+}
+}  // namespace
+
+std::vector<Obligation> ObligationTracker::Snapshot() const {
+  std::vector<Obligation> out = open_;
+  SortLedger(&out);
+  return out;
+}
+
+std::string ObligationTracker::Dump() const {
+  std::vector<Obligation> sorted = open_;
+  SortLedger(&sorted);
+  std::string out;
+  for (const Obligation& o : sorted) {
+    out += "  obligation kind=";
+    out += ObligationKindName(o.kind);
+    out += " node=" + std::to_string(o.node);
+    out += " key=" + std::to_string(o.key);
+    out += " opened_at=" + std::to_string(o.opened_at);
+    out += " deadline=" + std::to_string(o.deadline);
+    out += " age=" + std::to_string(now() >= o.opened_at ? now() - o.opened_at : 0);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace bmx

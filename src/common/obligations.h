@@ -1,0 +1,117 @@
+// Progress-obligation registry for the liveness oracle (paper §8: the
+// protocols are supposed to *make progress* — "the BGC never acquires a
+// token", background exchange never stalls mutators).
+//
+// An obligation is an open promise of future progress: an acquire that has
+// not completed, an invalidation fan-out still awaiting acks, a write grant
+// parked behind one, a from-space reclaim round with outstanding copies, an
+// armed recovery between its kStart and kComplete marks, additive scion
+// retention for a recovering peer.  Each protocol layer Opens an obligation
+// when it takes the promise on and Closes it at the exact point the promise
+// is discharged.  The LivenessOracle (src/runtime/liveness.h) then has a
+// cluster-wide ledger to interrogate: at quiescence, or after a bounded
+// window of deliveries retires nothing, any open obligation that no protocol
+// rule excuses is a no-progress verdict.
+//
+// The tracker is disabled by default and the Open/Close fast path is one
+// inlined branch, so runs without liveness checking pay nothing and traffic
+// fingerprints stay bit-identical (the tracker never touches the network).
+// Obligations are stamped with the owning component's virtual clock (a
+// borrowed pointer to Network::now_) so deadlines live on simulated time,
+// not wall time.
+
+#ifndef SRC_COMMON_OBLIGATIONS_H_
+#define SRC_COMMON_OBLIGATIONS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace bmx {
+
+enum class ObligationKind : uint8_t {
+  kAcquire,       // DsmNode acquire in flight (key unused)
+  kInvalidation,  // invalidation fan-out awaiting acks (key = oid)
+  kPendingGrant,  // write grant parked behind an invalidation (key = oid)
+  kGcReclaim,     // from-space reclaim round with outstanding copies (key = round)
+  kRecovery,      // armed recovery between kStart and kComplete (key unused)
+  kRetention,     // additive scion retention for a recovering peer (key = peer)
+};
+
+const char* ObligationKindName(ObligationKind kind);
+
+struct Obligation {
+  ObligationKind kind;
+  NodeId node;    // the node that owes the progress
+  uint64_t key;   // kind-specific discriminator (see ObligationKind)
+  uint64_t opened_at;
+  uint64_t deadline;
+};
+
+class ObligationTracker {
+ public:
+  // Borrow the owner's virtual clock; must outlive the tracker.
+  void AttachClock(const uint64_t* clock) { clock_ = clock; }
+
+  // Idempotent.  deadline_ticks stamps every subsequently opened obligation
+  // with opened_at + deadline_ticks.
+  void Enable(uint64_t deadline_ticks = kDefaultDeadlineTicks) {
+    enabled_ = true;
+    deadline_ticks_ = deadline_ticks;
+  }
+  bool enabled() const { return enabled_; }
+
+  // Open/Close are keyed on (kind, node, key) and idempotent: re-opening an
+  // open obligation keeps the original opened_at (the oldest promise is the
+  // one whose age matters); closing an absent one is a no-op (handlers are
+  // replay-idempotent, so double-discharge must be harmless).
+  void Open(ObligationKind kind, NodeId node, uint64_t key) {
+    if (!enabled_) return;
+    OpenSlow(kind, node, key);
+  }
+  void Close(ObligationKind kind, NodeId node, uint64_t key) {
+    if (!enabled_) return;
+    CloseSlow(kind, node, key);
+  }
+
+  // Crash-stop: a dead node owes nothing (its obligations either die with it
+  // or re-arm in the next incarnation).  Retires every obligation owned by
+  // `node` without counting them as progress.
+  void DropNode(NodeId node);
+
+  size_t OpenCount() const { return open_.size(); }
+  bool IsOpen(ObligationKind kind, NodeId node, uint64_t key) const;
+  // Obligations discharged via Close since Enable — the oracle's progress
+  // signal (DropNode does not count).
+  uint64_t retired() const { return retired_; }
+
+  // Snapshot in deterministic (kind, node, key) order.
+  std::vector<Obligation> Snapshot() const;
+  // Human-readable ledger for diagnostics ("" when nothing is open).
+  std::string Dump() const;
+
+  static constexpr uint64_t kDefaultDeadlineTicks = 10000;
+
+ private:
+  void OpenSlow(ObligationKind kind, NodeId node, uint64_t key);
+  void CloseSlow(ObligationKind kind, NodeId node, uint64_t key);
+  uint64_t now() const { return clock_ != nullptr ? *clock_ : 0; }
+  size_t Find(ObligationKind kind, NodeId node, uint64_t key) const;
+
+  bool enabled_ = false;
+  const uint64_t* clock_ = nullptr;
+  uint64_t deadline_ticks_ = kDefaultDeadlineTicks;
+  // Flat unordered ledger: the open set stays small (one entry per in-flight
+  // acquire / fan-out / round / recovery, not per message), so a linear scan
+  // beats a node-allocating tree on the Open/Close hot path and swap-erase
+  // keeps steady state allocation-free.  Snapshot()/Dump() sort, so the
+  // observable order stays deterministic (kind, node, key).
+  std::vector<Obligation> open_;
+  uint64_t retired_ = 0;
+};
+
+}  // namespace bmx
+
+#endif  // SRC_COMMON_OBLIGATIONS_H_

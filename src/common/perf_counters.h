@@ -56,6 +56,13 @@ struct PerfCounters {
   uint64_t consistency_checks_run = 0;   // ConsistencyChecker::Check() calls
   uint64_t consistency_violations = 0;   // violations those checks reported
 
+  // Gray-failure injection and liveness tracking.
+  uint64_t zombie_dropped_msgs = 0;    // dispatches swallowed by a zombie link/peer
+  uint64_t obligations_opened = 0;     // progress obligations registered
+  uint64_t obligations_retired = 0;    // ...discharged before a verdict
+  uint64_t liveness_checks_run = 0;    // LivenessOracle evaluations
+  uint64_t liveness_violations = 0;    // no-progress verdicts reported
+
   void Reset() { *this = PerfCounters{}; }
 
   // Field-wise accumulation; the TaskPool uses it to fold worker counters
@@ -83,6 +90,11 @@ struct PerfCounters {
     history_events_recorded += o.history_events_recorded;
     consistency_checks_run += o.consistency_checks_run;
     consistency_violations += o.consistency_violations;
+    zombie_dropped_msgs += o.zombie_dropped_msgs;
+    obligations_opened += o.obligations_opened;
+    obligations_retired += o.obligations_retired;
+    liveness_checks_run += o.liveness_checks_run;
+    liveness_violations += o.liveness_violations;
   }
 };
 

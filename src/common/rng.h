@@ -55,6 +55,9 @@ enum class RngStream : uint64_t {
   kScheduler,           // delivery-scheduler picks (random walk, delay bound)
   kWorkload,            // workload generators (graph builders, churn)
   kFaultSchedule,       // randomized crash-point schedule generation
+  kLinkLoss,            // per-link loss draws (gray-failure LinkProfile)
+  kLinkDuplication,     // per-link duplication draws
+  kLinkReliableLoss,    // per-link in-flight loss of reliable transmissions
 };
 
 // Derives the seed of one purpose-specific stream from a root seed.  Two

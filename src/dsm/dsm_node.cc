@@ -196,19 +196,46 @@ void DsmNode::BeginAcquire(Gaddr addr, bool write, bool for_gc) {
   req->requester = id_;
   req->for_gc = for_gc;
   wait_target_ = target;
+  // The acquire is now a progress obligation: someone must eventually grant,
+  // deny or defer-then-serve it.  Opened only once a request actually goes
+  // out (the unroutable path above fails synchronously).
+  network_->obligations().Open(ObligationKind::kAcquire, id_, 0);
   FAULT_POINT("dsm.acquire.pre_send", id_);
   network_->Send(id_, target, std::move(req));
 }
 
+void DsmNode::AbandonAcquireWait() {
+  network_->obligations().Close(ObligationKind::kAcquire, id_, 0);
+  wait_active_ = false;
+  wait_complete_ = false;
+  wait_addr_ = kNullAddr;
+  wait_target_ = kInvalidNode;
+}
+
 bool DsmNode::CompleteAcquire(Gaddr addr, bool write, bool for_gc) {
-  constexpr int kMaxAttempts = 3;
-  for (int attempt = 0;; ++attempt) {
+  // The unified RetryPolicy carries the legacy 3-attempt bound as its budget;
+  // the per-peer circuit breaker only ever short-circuits attempts toward a
+  // first hop that is BOTH detached and recently timing out, so a restarted
+  // peer is always tried immediately.
+  for (uint32_t attempt = 1;; ++attempt) {
     BeginAcquire(addr, write, for_gc);
     if (!wait_active_) {
       return wait_complete_;  // completed locally, or unroutable
     }
+    if (!network_->NodeAttached(wait_target_) &&
+        !acquire_retry_.AllowAttempt(wait_target_, network_->now())) {
+      // Fail fast: the first hop is down and its breaker is open.  Withdraw
+      // the parked request instead of waiting out another quiescence cycle.
+      stats_.breaker_fast_fails++;
+      network_->DropParked(id_, wait_target_, MsgKind::kAcquireRequest);
+      AbandonAcquireWait();
+      return false;
+    }
     network_->RunUntilIdle();
     if (!wait_active_) {
+      if (wait_complete_) {
+        acquire_retry_.RecordSuccess(wait_target_);
+      }
       return wait_complete_;
     }
     // The network quiesced with the acquire still open.  If the first hop is
@@ -222,15 +249,32 @@ bool DsmNode::CompleteAcquire(Gaddr addr, bool write, bool for_gc) {
       return false;
     }
     stats_.acquire_timeouts++;
+    acquire_retry_.RecordFailure(wait_target_, network_->now());
     network_->DropParked(id_, wait_target_, MsgKind::kAcquireRequest);
-    wait_active_ = false;
-    wait_complete_ = false;
-    wait_addr_ = kNullAddr;
-    wait_target_ = kInvalidNode;
-    if (attempt + 1 >= kMaxAttempts) {
+    AbandonAcquireWait();
+    if (acquire_retry_.Exhausted(attempt)) {
       return false;  // fail cleanly: every route leads to a dead node
     }
   }
+}
+
+bool DsmNode::HasPendingWorkFor(NodeId requester) const {
+  for (const auto& [oid, grant] : pending_grants_) {
+    if (grant.requester == requester) {
+      return true;
+    }
+  }
+  for (const auto& [oid, msgs] : deferred_) {
+    for (const Message& msg : msgs) {
+      if (msg.payload->kind() != MsgKind::kAcquireRequest) {
+        continue;
+      }
+      if (static_cast<const AcquireRequestPayload&>(*msg.payload).requester == requester) {
+        return true;
+      }
+    }
+  }
+  return false;
 }
 
 bool DsmNode::AcquireRead(Gaddr addr, bool for_gc) {
@@ -614,6 +658,7 @@ void DsmNode::HandleAcquire(const Message& msg) {
 
 void DsmNode::StartWriteGrant(Oid oid, NodeId requester, bool for_gc) {
   pending_grants_[oid] = PendingGrant{requester, for_gc};
+  network_->obligations().Open(ObligationKind::kPendingGrant, id_, oid);
   StartInvalidation(oid, kInvalidNode);
   TryFinishInvalidation(oid);
 }
@@ -630,6 +675,7 @@ void DsmNode::StartInvalidation(Oid oid, NodeId parent) {
   progress.parent = parent;
   progress.awaiting = t.copyset.size();
   invalidations_[oid] = progress;
+  network_->obligations().Open(ObligationKind::kInvalidation, id_, oid);
   for (NodeId child : t.copyset) {
     auto inval = std::make_shared<InvalidatePayload>();
     inval->oid = oid;
@@ -655,6 +701,7 @@ void DsmNode::TryFinishInvalidation(Oid oid) {
   }
   NodeId parent = it->second.parent;
   invalidations_.erase(it);
+  network_->obligations().Close(ObligationKind::kInvalidation, id_, oid);
   t.copyset.clear();
   if (!initiated_here) {
     if (t.state != TokenState::kNone) {
@@ -677,6 +724,7 @@ void DsmNode::FinishWriteGrant(Oid oid) {
   BMX_CHECK(pg_it != pending_grants_.end());
   PendingGrant pg = pg_it->second;
   pending_grants_.erase(pg_it);
+  network_->obligations().Close(ObligationKind::kPendingGrant, id_, oid);
 
   TokenInfo& t = InfoOf(oid);
   if (pg.requester == id_) {
@@ -685,6 +733,7 @@ void DsmNode::FinishWriteGrant(Oid oid) {
     t.held = true;
     wait_complete_ = true;
     wait_active_ = false;
+    network_->obligations().Close(ObligationKind::kAcquire, id_, 0);
     Redispatch(oid);
     return;
   }
@@ -785,6 +834,7 @@ void DsmNode::HandleGrant(const Message& msg) {
       wait_complete_ = false;
       wait_active_ = false;
       wait_addr_ = kNullAddr;
+      network_->obligations().Close(ObligationKind::kAcquire, id_, 0);
     }
     // A denial with no acquire in flight is a replayed/stale grant (e.g.
     // redelivered to a restarted incarnation of this node): nothing to fail.
@@ -854,6 +904,7 @@ void DsmNode::HandleGrant(const Message& msg) {
   if (wait_active_) {
     wait_complete_ = true;
     wait_active_ = false;
+    network_->obligations().Close(ObligationKind::kAcquire, id_, 0);
   }
   Redispatch(grant.oid);
 }

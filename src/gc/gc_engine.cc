@@ -420,6 +420,7 @@ std::vector<Gaddr> GcEngine::LiveObjects(BunchId bunch) {
 
 void GcEngine::NoteRecoveringPeer(NodeId peer) {
   recovering_peers_.insert(peer);
+  network_->obligations().Open(ObligationKind::kRetention, id_, peer);
   // The restarted node's table_version counters begin again at 1; without
   // this reset every table from its new life would be rejected as stale and
   // its scions (and our entering entries from it) could never be cleaned.
@@ -428,7 +429,10 @@ void GcEngine::NoteRecoveringPeer(NodeId peer) {
   }
 }
 
-void GcEngine::ClearRecoveringPeer(NodeId peer) { recovering_peers_.erase(peer); }
+void GcEngine::ClearRecoveringPeer(NodeId peer) {
+  recovering_peers_.erase(peer);
+  network_->obligations().Close(ObligationKind::kRetention, id_, peer);
+}
 
 void GcEngine::RebuildSspsFromHeap(BunchId bunch) {
   // The stub table of the previous life is gone (stubs are volatile); the

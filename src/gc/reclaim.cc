@@ -166,6 +166,7 @@ void GcEngine::ReclaimFromSpaces(BunchId bunch) {
   }
 
   pending_reclaims_[round] = std::move(pending);
+  network_->obligations().Open(ObligationKind::kGcReclaim, id_, round);
   FinishReclaimIfDone(round);
 }
 
@@ -279,6 +280,7 @@ void GcEngine::FinishReclaimIfDone(uint64_t round) {
   }
   PendingReclaim pending = std::move(it->second);
   pending_reclaims_.erase(it);
+  network_->obligations().Close(ObligationKind::kGcReclaim, id_, round);
 
   std::set<SegmentId> all(pending.segments.begin(), pending.segments.end());
   std::set<SegmentId> deferred;

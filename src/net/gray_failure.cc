@@ -1,0 +1,164 @@
+#include "src/net/gray_failure.h"
+
+#include <cstdlib>
+
+namespace bmx {
+
+namespace {
+
+bool Fail(std::string* error, const std::string& message) {
+  if (error != nullptr) {
+    *error = message;
+  }
+  return false;
+}
+
+std::vector<std::string> SplitOn(const std::string& text, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find(sep, start);
+    if (end == std::string::npos) {
+      out.push_back(text.substr(start));
+      break;
+    }
+    out.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
+bool ParseNodeId(const std::string& s, NodeId* out) {
+  if (s.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  unsigned long v = std::strtoul(s.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') {
+    return false;
+  }
+  *out = static_cast<NodeId>(v);
+  return true;
+}
+
+bool ParseDouble(const std::string& s, double* out) {
+  if (s.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  *out = std::strtod(s.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+}  // namespace
+
+bool GraySpec::Parse(const std::string& text, GraySpec* out, std::string* error) {
+  *out = GraySpec{};
+  for (const std::string& part : SplitOn(text, ';')) {
+    if (part.empty()) {
+      continue;
+    }
+    if (part.rfind("zombie=", 0) == 0) {
+      NodeId node;
+      if (!ParseNodeId(part.substr(7), &node)) {
+        return Fail(error, "bad node id in '" + part + "'");
+      }
+      out->zombie_nodes.push_back(node);
+      continue;
+    }
+    size_t arrow = part.find("->");
+    if (arrow == std::string::npos) {
+      return Fail(error, "expected 'src->dst:...' or 'zombie=N' in '" + part + "'");
+    }
+    size_t colon = part.find(':', arrow);
+    if (colon == std::string::npos) {
+      return Fail(error, "missing ':' after link endpoints in '" + part + "'");
+    }
+    GrayLinkSpec link;
+    if (!ParseNodeId(part.substr(0, arrow), &link.src) ||
+        !ParseNodeId(part.substr(arrow + 2, colon - arrow - 2), &link.dst)) {
+      return Fail(error, "bad link endpoints in '" + part + "'");
+    }
+    if (link.src == link.dst) {
+      return Fail(error, "link endpoints must differ in '" + part + "'");
+    }
+    for (const std::string& attr : SplitOn(part.substr(colon + 1), ',')) {
+      if (attr == "zombie") {
+        link.profile.zombie = true;
+        continue;
+      }
+      size_t eq = attr.find('=');
+      if (eq == std::string::npos) {
+        return Fail(error, "expected key=value or 'zombie' in '" + attr + "'");
+      }
+      std::string key = attr.substr(0, eq);
+      std::string value = attr.substr(eq + 1);
+      if (key == "lat") {
+        char* end = nullptr;
+        link.profile.latency_ticks = std::strtoull(value.c_str(), &end, 10);
+        if (end == nullptr || *end != '\0') {
+          return Fail(error, "bad latency in '" + attr + "'");
+        }
+      } else if (key == "loss") {
+        if (!ParseDouble(value, &link.profile.loss_rate) || link.profile.loss_rate < 0 ||
+            link.profile.loss_rate >= 1.0) {
+          return Fail(error, "loss must be in [0, 1) in '" + attr + "'");
+        }
+      } else if (key == "dup") {
+        if (!ParseDouble(value, &link.profile.duplication_rate) ||
+            link.profile.duplication_rate < 0 || link.profile.duplication_rate > 1.0) {
+          return Fail(error, "dup must be in [0, 1] in '" + attr + "'");
+        }
+      } else {
+        return Fail(error, "unknown link attribute '" + key + "'");
+      }
+    }
+    out->links.push_back(link);
+  }
+  return true;
+}
+
+void GraySpec::Apply(Network* net) const {
+  for (const GrayLinkSpec& link : links) {
+    net->InstallLinkProfile(link.src, link.dst, link.profile);
+  }
+  for (NodeId node : zombie_nodes) {
+    net->SetZombieNode(node, true);
+  }
+}
+
+std::string GraySpec::ToString() const {
+  std::string out;
+  for (const GrayLinkSpec& link : links) {
+    if (!out.empty()) {
+      out += ';';
+    }
+    out += std::to_string(link.src) + "->" + std::to_string(link.dst) + ":";
+    std::string attrs;
+    if (link.profile.latency_ticks > 0) {
+      attrs += "lat=" + std::to_string(link.profile.latency_ticks);
+    }
+    if (link.profile.loss_rate >= 0) {
+      if (!attrs.empty()) attrs += ',';
+      attrs += "loss=" + std::to_string(link.profile.loss_rate);
+    }
+    if (link.profile.duplication_rate >= 0) {
+      if (!attrs.empty()) attrs += ',';
+      attrs += "dup=" + std::to_string(link.profile.duplication_rate);
+    }
+    if (link.profile.zombie) {
+      if (!attrs.empty()) attrs += ',';
+      attrs += "zombie";
+    }
+    out += attrs;
+  }
+  for (NodeId node : zombie_nodes) {
+    if (!out.empty()) {
+      out += ';';
+    }
+    out += "zombie=" + std::to_string(node);
+  }
+  return out;
+}
+
+}  // namespace bmx

@@ -102,6 +102,10 @@ struct Message {
   // handler that can no longer trust them.
   uint64_t src_epoch = 0;
   uint64_t dst_epoch = 0;
+  // Earliest virtual-clock tick at which this wire copy may be delivered.
+  // 0 (the default) means "immediately"; only links with a latency-inflating
+  // LinkProfile stamp anything else, so the common path never consults it.
+  uint64_t ready_at = 0;
   std::shared_ptr<const Payload> payload;
 };
 

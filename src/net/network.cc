@@ -150,13 +150,17 @@ Network::Network(uint64_t seed)
       reorder_rng_(DeriveStreamSeed(seed, RngStream::kReorder)),
       rel_loss_rng_(DeriveStreamSeed(seed, RngStream::kReliableLoss)),
       ack_loss_rng_(DeriveStreamSeed(seed, RngStream::kAckLoss)),
-      scheduler_(std::make_unique<FifoScheduler>()) {}
+      scheduler_(std::make_unique<FifoScheduler>()) {
+  obligations_.AttachClock(&now_);
+}
 
 Network::~Network() { DetachFaultGate(); }
 
 void Network::set_retransmit_timeout(uint64_t ticks) {
   BMX_CHECK_GT(ticks, 0u);
-  retransmit_timeout_ = ticks;
+  RetryPolicyConfig config = retry_.config();
+  config.base_timeout = ticks;
+  retry_.set_config(config);
 }
 
 void Network::set_reliable_loss_rate(double p) {
@@ -167,6 +171,146 @@ void Network::set_reliable_loss_rate(double p) {
 void Network::set_ack_loss_rate(double p) {
   BMX_CHECK_LT(p, 1.0) << "a channel that loses every ack cannot terminate";
   ack_loss_rate_ = p;
+}
+
+namespace {
+// Decorrelates per-link fault streams from the global families and from each
+// other: both endpoints are mixed into the root seed before the usual
+// per-purpose split, so two links (and the two directions of one pair) own
+// independent sequences.
+uint64_t LinkStreamSeed(uint64_t root, NodeId src, NodeId dst, RngStream stream) {
+  uint64_t salt = (static_cast<uint64_t>(src) + 1) * 0x9e3779b97f4a7c15ull ^
+                  (static_cast<uint64_t>(dst) + 1) * 0xbf58476d1ce4e5b9ull;
+  return DeriveStreamSeed(root ^ salt, stream);
+}
+}  // namespace
+
+void Network::InstallLinkProfile(NodeId src, NodeId dst, const LinkProfile& profile) {
+  BMX_CHECK_NE(src, dst);
+  if (profile.loss_rate >= 0) {
+    // The per-link rate also governs reliable transmissions on the link.
+    BMX_CHECK_LT(profile.loss_rate, 1.0)
+        << "a link that loses every transmission cannot terminate";
+  }
+  LinkState state{profile, Rng(LinkStreamSeed(root_seed_, src, dst, RngStream::kLinkLoss)),
+                  Rng(LinkStreamSeed(root_seed_, src, dst, RngStream::kLinkDuplication)),
+                  Rng(LinkStreamSeed(root_seed_, src, dst, RngStream::kLinkReliableLoss))};
+  link_profiles_.insert_or_assign(ChannelKey{src, dst}, std::move(state));
+  any_link_latency_ = false;
+  for (const auto& [key, ls] : link_profiles_) {
+    any_link_latency_ |= ls.profile.latency_ticks > 0;
+  }
+}
+
+void Network::ClearLinkProfile(NodeId src, NodeId dst) {
+  link_profiles_.erase(ChannelKey{src, dst});
+  any_link_latency_ = false;
+  for (const auto& [key, ls] : link_profiles_) {
+    any_link_latency_ |= ls.profile.latency_ticks > 0;
+  }
+}
+
+const LinkProfile* Network::FindLinkProfile(NodeId src, NodeId dst) const {
+  if (link_profiles_.empty()) {
+    return nullptr;
+  }
+  auto it = link_profiles_.find(ChannelKey{src, dst});
+  return it == link_profiles_.end() ? nullptr : &it->second.profile;
+}
+
+Network::LinkState* Network::FindLinkState(const ChannelKey& key) {
+  if (link_profiles_.empty()) {
+    return nullptr;
+  }
+  auto it = link_profiles_.find(key);
+  return it == link_profiles_.end() ? nullptr : &it->second;
+}
+
+void Network::SetZombieNode(NodeId node, bool zombie) {
+  if (zombie) {
+    zombie_nodes_.insert(node);
+  } else {
+    zombie_nodes_.erase(node);
+  }
+}
+
+uint64_t Network::ReadyAt(const ChannelKey& key) const {
+  if (!any_link_latency_) {
+    return 0;
+  }
+  auto it = link_profiles_.find(key);
+  if (it == link_profiles_.end()) {
+    return 0;
+  }
+  return now_ + it->second.profile.latency_ticks;
+}
+
+bool Network::ZombieDrop(const ChannelKey& key, const Message& msg) const {
+  if (zombie_nodes_.count(msg.dst) > 0) {
+    return true;
+  }
+  if (link_profiles_.empty()) {
+    return false;
+  }
+  auto it = link_profiles_.find(key);
+  if (it == link_profiles_.end() || !it->second.profile.zombie) {
+    return false;
+  }
+  return it->second.profile.zombie_categories[static_cast<size_t>(msg.payload->category())];
+}
+
+bool Network::HasTrafficTouching(NodeId node) const {
+  for (const auto& [key, channel] : channels_) {
+    if (key.first != node && key.second != node) {
+      continue;
+    }
+    if (!channel.queue.empty() || !channel.unacked.empty() || !channel.stashed.empty()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string Network::DebugDump() const {
+  std::string out = "network @tick " + std::to_string(now_) +
+                    ": pending=" + std::to_string(pending_) +
+                    " unacked=" + std::to_string(UnackedCount()) +
+                    " reachable_unacked=" + std::to_string(ReachableUnackedCount()) + "\n";
+  for (const auto& [key, channel] : channels_) {
+    if (channel.queue.empty() && channel.unacked.empty() && channel.stashed.empty()) {
+      continue;
+    }
+    out += "  ch " + std::to_string(key.first) + "->" + std::to_string(key.second) + ":";
+    if (!channel.queue.empty()) {
+      const Message& head = channel.queue.front();
+      out += " queue=" + std::to_string(channel.queue.size());
+      out += " head=";
+      out += MsgKindName(head.payload->kind());
+      if (head.ready_at > now_) {
+        out += " head_ready_at=" + std::to_string(head.ready_at);
+      }
+    }
+    if (!channel.unacked.empty()) {
+      uint64_t earliest = UINT64_MAX;
+      for (const auto& [rel_seq, entry] : channel.unacked) {
+        earliest = std::min(earliest, entry.next_retry);
+      }
+      out += " unacked=" + std::to_string(channel.unacked.size());
+      if (ReachableChannel(key)) {
+        out += " next_retry=" + std::to_string(earliest);
+      } else {
+        out += " (parked)";
+      }
+    }
+    if (!channel.stashed.empty()) {
+      out += " stashed=" + std::to_string(channel.stashed.size());
+    }
+    out += "\n";
+  }
+  if (obligations_.enabled() && obligations_.OpenCount() > 0) {
+    out += obligations_.Dump();
+  }
+  return out;
 }
 
 void Network::set_scheduler(std::unique_ptr<SchedulerPolicy> scheduler) {
@@ -305,9 +449,10 @@ void Network::RegisterNode(NodeId node, MessageHandler* handler) {
       // addressed to the dead one.
       msg.src_epoch = IncarnationOf(key.first);
       msg.dst_epoch = incarnation_[node];
+      msg.ready_at = ReadyAt(key);
       RetxEntry replay;
       replay.msg = msg;
-      replay.next_retry = now_ + retransmit_timeout_;
+      replay.next_retry = now_ + retry_.BackoffFor(0, msg.rel_seq);
       // parked_counted resets with the fresh entry: if this incarnation dies
       // too, the payload parks (and counts) again for the new down period.
       channel.unacked.emplace(msg.rel_seq, replay);
@@ -351,10 +496,22 @@ void Network::Send(NodeId src, NodeId dst, std::shared_ptr<const Payload> payloa
   pc.bytes += size;
   CountWireCopy(*payload);
 
+  // An installed LinkProfile substitutes per-link (rate, rng) pairs at the
+  // existing decision points; the decision-stream shape is unchanged, so
+  // record/replay covers gray-failure runs for free.
+  LinkState* link = FindLinkState({src, dst});
   bool reliable = payload->reliable();
-  if (!reliable && DrawChance(DecisionPoint::kUnreliableLoss, loss_rate_, &loss_rng_)) {
-    pk.dropped++;
-    return;
+  if (!reliable) {
+    double rate = loss_rate_;
+    Rng* rng = &loss_rng_;
+    if (link != nullptr && link->profile.loss_rate >= 0) {
+      rate = link->profile.loss_rate;
+      rng = &link->loss_rng;
+    }
+    if (DrawChance(DecisionPoint::kUnreliableLoss, rate, rng)) {
+      pk.dropped++;
+      return;
+    }
   }
 
   Channel& channel = channels_[{src, dst}];
@@ -365,6 +522,7 @@ void Network::Send(NodeId src, NodeId dst, std::shared_ptr<const Payload> payloa
   msg.rel_seq = reliable ? channel.next_rel_seq++ : 0;
   msg.src_epoch = IncarnationOf(src);
   msg.dst_epoch = IncarnationOf(dst);
+  msg.ready_at = ReadyAt({src, dst});
   msg.payload = std::move(payload);
   // Causality observation for the consistency checker: one snapshot per
   // logical send, keyed by wire identity.  Duplicates and retransmissions
@@ -375,11 +533,17 @@ void Network::Send(NodeId src, NodeId dst, std::shared_ptr<const Payload> payloa
   if (reliable) {
     RetxEntry entry;
     entry.msg = msg;
-    entry.next_retry = now_ + retransmit_timeout_;
+    entry.next_retry = now_ + retry_.BackoffFor(0, msg.rel_seq);
     channel.unacked.emplace(msg.rel_seq, std::move(entry));
   }
 
-  if (DrawChance(DecisionPoint::kDuplication, duplication_rate_, &dup_rng_)) {
+  double dup_rate = duplication_rate_;
+  Rng* dup_rng = &dup_rng_;
+  if (link != nullptr && link->profile.duplication_rate >= 0) {
+    dup_rate = link->profile.duplication_rate;
+    dup_rng = &link->dup_rng;
+  }
+  if (DrawChance(DecisionPoint::kDuplication, dup_rate, dup_rng)) {
     // The duplicate is a second wire copy of the SAME message: it keeps the
     // original seq/rel_seq (that is what receiver-side dedup keys on) and its
     // bytes count as real traffic.
@@ -427,51 +591,75 @@ bool Network::Dispatch(MessageHandler* handler, const Message& msg) {
 }
 
 Network::Channel* Network::PickDeliveryChannel(ChannelKey* key_out) {
-  if (decisions_.mode() == DecisionLog::Mode::kLive && scheduler_->IsFifo()) {
-    // Historical zero-overhead path: live FIFO consumes no decision indices
-    // and builds no candidate list.
-    for (auto& [key, channel] : channels_) {
-      if (!channel.queue.empty()) {
-        *key_out = key;
-        return &channel;
+  // Latency-inflated links (any_link_latency_) hold a channel's head back
+  // until its ready_at tick; when every queued copy is still in flight, the
+  // event-driven virtual clock jumps to the earliest readiness and the scan
+  // repeats.  Without latency profiles the loop exits on its first pass with
+  // the historical behavior (ready_at is never consulted).
+  for (;;) {
+    uint64_t earliest_ready = UINT64_MAX;
+    if (decisions_.mode() == DecisionLog::Mode::kLive && scheduler_->IsFifo()) {
+      // Historical zero-overhead path: live FIFO consumes no decision indices
+      // and builds no candidate list.
+      for (auto& [key, channel] : channels_) {
+        if (channel.queue.empty()) {
+          continue;
+        }
+        uint64_t ready_at = any_link_latency_ ? channel.queue.front().ready_at : 0;
+        if (ready_at <= now_) {
+          *key_out = key;
+          return &channel;
+        }
+        earliest_ready = std::min(earliest_ready, ready_at);
+      }
+    } else {
+      std::vector<ChannelCandidate> candidates;
+      std::vector<std::pair<ChannelKey, Channel*>> backing;
+      for (auto& [key, channel] : channels_) {
+        if (channel.queue.empty()) {
+          continue;
+        }
+        uint64_t ready_at = any_link_latency_ ? channel.queue.front().ready_at : 0;
+        if (ready_at > now_) {
+          // Still in flight: not a legal candidate, so it consumes no
+          // decision index and latency composes with record/replay.
+          earliest_ready = std::min(earliest_ready, ready_at);
+          continue;
+        }
+        ChannelCandidate c;
+        c.src = key.first;
+        c.dst = key.second;
+        c.head_kind = channel.queue.front().payload->kind();
+        c.queue_len = channel.queue.size();
+        c.deferred = channel.deferred;
+        candidates.push_back(c);
+        backing.emplace_back(key, &channel);
+      }
+      if (!candidates.empty()) {
+        size_t pick = 0;
+        if (candidates.size() > 1) {
+          // A single candidate is no choice at all: it consumes no decision
+          // index, which keeps traces sparse and shrinkable.
+          uint64_t resolved = decisions_.Resolve(DecisionPoint::kDeliverPick, 0, [&] {
+            return static_cast<uint64_t>(scheduler_->Pick(candidates));
+          });
+          // Clamp out-of-range picks (an edited/shrunk trace may index a
+          // candidate list that no longer exists at that width) so replay
+          // stays total.
+          pick = static_cast<size_t>(std::min<uint64_t>(resolved, candidates.size() - 1));
+        }
+        for (size_t i = 0; i < backing.size(); ++i) {
+          backing[i].second->deferred = (i == pick) ? 0 : backing[i].second->deferred + 1;
+        }
+        *key_out = backing[pick].first;
+        return backing[pick].second;
       }
     }
-    return nullptr;
-  }
-  std::vector<ChannelCandidate> candidates;
-  std::vector<std::pair<ChannelKey, Channel*>> backing;
-  for (auto& [key, channel] : channels_) {
-    if (channel.queue.empty()) {
-      continue;
+    if (earliest_ready == UINT64_MAX) {
+      return nullptr;
     }
-    ChannelCandidate c;
-    c.src = key.first;
-    c.dst = key.second;
-    c.head_kind = channel.queue.front().payload->kind();
-    c.queue_len = channel.queue.size();
-    c.deferred = channel.deferred;
-    candidates.push_back(c);
-    backing.emplace_back(key, &channel);
+    now_ = earliest_ready;
   }
-  if (candidates.empty()) {
-    return nullptr;
-  }
-  size_t pick = 0;
-  if (candidates.size() > 1) {
-    // A single candidate is no choice at all: it consumes no decision index,
-    // which keeps traces sparse and shrinkable.
-    uint64_t resolved = decisions_.Resolve(DecisionPoint::kDeliverPick, 0, [&] {
-      return static_cast<uint64_t>(scheduler_->Pick(candidates));
-    });
-    // Clamp out-of-range picks (an edited/shrunk trace may index a candidate
-    // list that no longer exists at that width) so replay stays total.
-    pick = static_cast<size_t>(std::min<uint64_t>(resolved, candidates.size() - 1));
-  }
-  for (size_t i = 0; i < backing.size(); ++i) {
-    backing[i].second->deferred = (i == pick) ? 0 : backing[i].second->deferred + 1;
-  }
-  *key_out = backing[pick].first;
-  return backing[pick].second;
 }
 
 bool Network::DeliverOne() {
@@ -522,10 +710,18 @@ bool Network::DeliverOne() {
     }
     return true;
   }
-  if (reliable &&
-      DrawChance(DecisionPoint::kReliableLoss, reliable_loss_rate_, &rel_loss_rng_)) {
-    pk.lost_transmissions++;
-    return true;
+  if (reliable) {
+    double rate = reliable_loss_rate_;
+    Rng* rng = &rel_loss_rng_;
+    LinkState* link = FindLinkState(key);
+    if (link != nullptr && link->profile.loss_rate >= 0) {
+      rate = link->profile.loss_rate;
+      rng = &link->rel_loss_rng;
+    }
+    if (DrawChance(DecisionPoint::kReliableLoss, rate, rng)) {
+      pk.lost_transmissions++;
+      return true;
+    }
   }
 
   if (reliable) {
@@ -556,20 +752,33 @@ bool Network::DeliverOne() {
       channel.stashed.erase(channel.stashed.begin());
       channel.expected_rel_seq++;
     }
-    pk.delivered++;
-    // Join before the handler runs: messages the handler sends must carry
-    // the sender's post-join clock, or causality through a relay is lost.
-    BMX_HISTORY_HOOK(history_, OnDeliver(msg.src, msg.dst, msg.seq));
-    if (!Dispatch(handler->second, msg)) {
-      return true;  // destination crashed processing this delivery
-    }
-    if (delivery_observer_) {
-      delivery_observer_(msg);
+    if (ZombieDrop(key, msg)) {
+      // Zombie link/peer: the transport completed above (acked, deduplicated,
+      // reassembled) but dispatch is silently swallowed — a wire event, not a
+      // delivery (mirroring the parked/redelivered accounting convention).
+      pk.zombie_dropped++;
+      GlobalPerfCounters().zombie_dropped_msgs++;
+    } else {
+      pk.delivered++;
+      // Join before the handler runs: messages the handler sends must carry
+      // the sender's post-join clock, or causality through a relay is lost.
+      BMX_HISTORY_HOOK(history_, OnDeliver(msg.src, msg.dst, msg.seq));
+      if (!Dispatch(handler->second, msg)) {
+        return true;  // destination crashed processing this delivery
+      }
+      if (delivery_observer_) {
+        delivery_observer_(msg);
+      }
     }
     for (Message& released : ready) {
       auto h = handlers_.find(released.dst);
       if (h == handlers_.end()) {
         break;  // destination crashed mid-delivery; volatile state is gone
+      }
+      if (ZombieDrop(key, released)) {
+        stats_.For(released.payload->kind()).zombie_dropped++;
+        GlobalPerfCounters().zombie_dropped_msgs++;
+        continue;
       }
       stats_.For(released.payload->kind()).delivered++;
       BMX_HISTORY_HOOK(history_, OnDeliver(released.src, released.dst, released.seq));
@@ -583,6 +792,11 @@ bool Network::DeliverOne() {
     return true;
   }
 
+  if (ZombieDrop(key, msg)) {
+    pk.zombie_dropped++;
+    GlobalPerfCounters().zombie_dropped_msgs++;
+    return true;
+  }
   pk.delivered++;
   BMX_HISTORY_HOOK(history_, OnDeliver(msg.src, msg.dst, msg.seq));
   if (Dispatch(handler->second, msg) && delivery_observer_) {
@@ -617,12 +831,14 @@ bool Network::FireRetransmitTimers() {
         continue;
       }
       entry.attempts++;
-      uint64_t backoff = retransmit_timeout_
-                         << std::min<uint32_t>(entry.attempts, 16);  // exponential, capped
-      entry.next_retry = now_ + backoff;
+      // Exponential, capped; with the default config this is bit-identical to
+      // the legacy base << min(attempts, 16) shift.
+      entry.next_retry = now_ + retry_.BackoffFor(entry.attempts, rel_seq);
       stats_.For(entry.msg.payload->kind()).retransmits++;
       CountWireCopy(*entry.msg.payload);
-      channel.queue.push_back(entry.msg);
+      Message copy = entry.msg;
+      copy.ready_at = ReadyAt(key);
+      channel.queue.push_back(std::move(copy));
       pending_++;
       fired = true;
     }
@@ -630,15 +846,31 @@ bool Network::FireRetransmitTimers() {
   return fired;
 }
 
-void Network::RunUntilIdle() {
-  // Budget guards against a protocol that ping-pongs forever; no legitimate
-  // workload in this repository approaches it.
-  size_t budget = 50'000'000;
+bool Network::DrainUntilIdle(uint64_t budget, std::string* diagnostic) {
   for (;;) {
     if (!DeliverOne() && !FireRetransmitTimers()) {
-      break;
+      return true;
     }
-    BMX_CHECK_GT(budget--, 0u) << "network failed to quiesce";
+    if (budget == 0) {
+      if (diagnostic != nullptr) {
+        *diagnostic = DebugDump();
+      }
+      return false;
+    }
+    budget--;
+  }
+}
+
+void Network::RunUntilIdle() {
+  // The budget guards against a protocol that ping-pongs forever; no
+  // legitimate workload in this repository approaches the default.  On
+  // overrun the failure carries the pending-state dump — per-channel queues,
+  // unacked entries with live timers, and any open obligations — instead of
+  // spinning silently.
+  std::string diagnostic;
+  if (!DrainUntilIdle(quiesce_budget_, &diagnostic)) {
+    BMX_CHECK(false) << "network failed to quiesce within " << quiesce_budget_ << " steps\n"
+                     << diagnostic;
   }
   // Quiescence contract: the loop above may only stop when every unacked
   // reliable payload is addressed to a down or partitioned peer (parked).  A
@@ -647,6 +879,15 @@ void Network::RunUntilIdle() {
   // pending would silently drop the delivery guarantee.
   BMX_CHECK_EQ(ReachableUnackedCount(), 0u)
       << "RunUntilIdle returned with live retransmit obligations";
+}
+
+bool Network::RunUntilIdleBounded(uint64_t max_steps, std::string* diagnostic) {
+  if (!DrainUntilIdle(max_steps, diagnostic)) {
+    return false;
+  }
+  BMX_CHECK_EQ(ReachableUnackedCount(), 0u)
+      << "RunUntilIdle returned with live retransmit obligations";
+  return true;
 }
 
 bool Network::Idle() const { return pending_ == 0; }

@@ -46,6 +46,8 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/obligations.h"
+#include "src/common/retry.h"
 #include "src/common/rng.h"
 #include "src/common/types.h"
 #include "src/net/message.h"
@@ -54,6 +56,30 @@
 namespace bmx {
 
 class HistoryRecorder;
+
+// Gray-failure profile for one directed link (src → dst).  Uninstalled links
+// behave exactly as before — the profile table is consulted only when
+// non-empty, and per-link fault draws come from dedicated RNG streams
+// (kLinkLoss/kLinkDuplication/kLinkReliableLoss mixed with the link
+// endpoints), so installing a profile on one link never perturbs the draw
+// sequences of the global knobs or of other links.
+struct LinkProfile {
+  // Every wire copy on the link becomes deliverable only latency_ticks after
+  // it is enqueued (directional: the reverse link is unaffected).
+  uint64_t latency_ticks = 0;
+  // Per-link overrides of the global loss knobs; negative = inherit.  The
+  // loss rate applies to both delivery classes of the link: datagram loss for
+  // unreliable payloads, in-flight transmission loss (masked by
+  // retransmission) for reliable ones.
+  double loss_rate = -1.0;
+  double duplication_rate = -1.0;
+  // Zombie link: the destination stays transport-alive (acks, dedup,
+  // reassembly all run) but payload dispatch is silently swallowed for the
+  // selected categories — the gray failure where a peer looks healthy to the
+  // transport and dead to the protocol.
+  bool zombie = false;
+  std::array<bool, kNumMsgCategories> zombie_categories{{true, true, true}};
+};
 
 class MessageHandler {
  public:
@@ -83,6 +109,11 @@ struct NetworkStats {
     // Wire copies rejected at delivery because an endpoint's incarnation
     // epoch advanced after they were emitted (crash recovery).
     uint64_t epoch_rejected = 0;
+    // Dispatches swallowed by a zombie link/peer: the transport completed
+    // (acked, deduplicated, counted as wire bytes) but no handler ran.
+    // Mirrors the parked/redelivered convention — a zombie drop is a wire
+    // event, never a logical send, and `delivered` does not count it.
+    uint64_t zombie_dropped = 0;
   };
   // Category is recorded from each payload at Send time (a single kind can
   // span categories, e.g. acquire requests issued for a baseline collector).
@@ -166,6 +197,22 @@ class Network {
   // partitioned, bounded by the parked-payload buffers.
   void RunUntilIdle();
 
+  // Non-fatal variant of RunUntilIdle for probing suspected livelocks: stops
+  // after max_steps deliveries/timer firings and returns false, filling
+  // *diagnostic (if non-null) with the pending-obligation dump that the fatal
+  // path would have printed.  Returns true on quiescence (postcondition
+  // checked as in RunUntilIdle).
+  bool RunUntilIdleBounded(uint64_t max_steps, std::string* diagnostic);
+
+  // Step cap for RunUntilIdle; exceeding it is a fatal diagnostic (the
+  // network dump plus any open obligations) instead of an unbounded spin.
+  void set_quiesce_budget(uint64_t steps) { quiesce_budget_ = steps; }
+
+  // Per-channel pending state: queue depths and head readiness, unacked
+  // entries with their earliest retransmit deadline, reassembly stashes —
+  // the dump a quiescence-budget failure or a liveness verdict attaches.
+  std::string DebugDump() const;
+
   bool Idle() const;
   size_t PendingCount() const;
   // Unacked reliable payloads (in flight, awaiting ack, or parked).
@@ -183,6 +230,32 @@ class Network {
   void AdvanceClock(uint64_t ticks) { now_ += ticks; }
   // Base retransmission timeout; attempt k backs off to base << k ticks.
   void set_retransmit_timeout(uint64_t ticks);
+  // Full control over the retransmission schedule (backoff shape, jitter,
+  // cap).  set_retransmit_timeout is shorthand for changing base_timeout.
+  void set_retry_policy(const RetryPolicyConfig& config) { retry_.set_config(config); }
+  const RetryPolicy& retry_policy() const { return retry_; }
+
+  // --- Gray-failure injection (see LinkProfile). ---
+  void InstallLinkProfile(NodeId src, NodeId dst, const LinkProfile& profile);
+  void ClearLinkProfile(NodeId src, NodeId dst);
+  const LinkProfile* FindLinkProfile(NodeId src, NodeId dst) const;
+  // Node-level zombie: every inbound link of the node drops dispatch for all
+  // categories (transport stays alive).  Orthogonal to per-link profiles.
+  void SetZombieNode(NodeId node, bool zombie);
+  bool IsZombieNode(NodeId node) const { return zombie_nodes_.count(node) > 0; }
+
+  // --- Progress obligations (liveness oracle ledger). ---
+  // Disabled unless something calls obligations().Enable(); protocol layers
+  // Open/Close through this accessor and the LivenessOracle reads it.  The
+  // tracker is observation-only: no wire byte, stat or decision changes.
+  ObligationTracker& obligations() { return obligations_; }
+  const ObligationTracker& obligations() const { return obligations_; }
+
+  // True while any queued wire copy, unacked reliable payload or reassembly
+  // stash touches `node` as sender or receiver — i.e. progress involving the
+  // node may still arrive without new action.  The liveness oracle uses this
+  // to excuse obligations that are merely waiting on in-flight traffic.
+  bool HasTrafficTouching(NodeId node) const;
 
   // --- Delivery scheduling & decision record/replay. ---
   // Installs the policy choosing which channel delivers next.  The default
@@ -322,6 +395,15 @@ class Network {
     uint64_t deferred = 0;
   };
 
+  // Per-link gray-failure state: the profile plus dedicated fault-draw
+  // streams, derived lazily from link-mixed stream seeds at install time.
+  struct LinkState {
+    LinkProfile profile;
+    Rng loss_rng;
+    Rng dup_rng;
+    Rng rel_loss_rng;
+  };
+
   void Enqueue(Channel* channel, Message msg);
   // Transport-level ack for a received reliable payload (subject to ack
   // loss).  Returns true if the sender's unacked entry was retired.
@@ -348,6 +430,17 @@ class Network {
   // network records or replays (see FaultInjector::set_fire_gate).
   void AttachFaultGate();
   void DetachFaultGate();
+  // nullptr when the link has no profile (including when the table is empty —
+  // the common case, kept to one branch).
+  LinkState* FindLinkState(const ChannelKey& key);
+  // Virtual-clock tick at which a wire copy enqueued now on `key` becomes
+  // deliverable (0 unless the link inflates latency).
+  uint64_t ReadyAt(const ChannelKey& key) const;
+  // True if this delivery must be swallowed by a zombie link/peer.
+  bool ZombieDrop(const ChannelKey& key, const Message& msg) const;
+  // Shared drain loop behind RunUntilIdle/RunUntilIdleBounded; false when the
+  // step budget ran out (diagnostic filled if requested).
+  bool DrainUntilIdle(uint64_t budget, std::string* diagnostic);
 
   uint64_t root_seed_;
   // One independent stream per random-decision family (satellite of the
@@ -364,7 +457,16 @@ class Network {
   HistoryRecorder* history_ = nullptr;
   bool fault_gate_attached_ = false;
   uint64_t now_ = 0;
-  uint64_t retransmit_timeout_ = 8;
+  // Retransmission schedule (default config reproduces the legacy
+  // base << min(attempts, 16) backoff bit-for-bit).
+  RetryPolicy retry_;
+  uint64_t quiesce_budget_ = 50'000'000;
+  // Gray-failure state.  any_link_latency_ lets the scheduler skip the
+  // readiness scan entirely when no installed profile inflates latency.
+  std::map<ChannelKey, LinkState> link_profiles_;
+  std::set<NodeId> zombie_nodes_;
+  bool any_link_latency_ = false;
+  ObligationTracker obligations_;
   double loss_rate_ = 0.0;
   double duplication_rate_ = 0.0;
   double reorder_rate_ = 0.0;

@@ -35,6 +35,7 @@ void Cluster::CrashNode(NodeId id) {
   BMX_CHECK_LT(id, nodes_.size());
   BMX_CHECK(nodes_[id] != nullptr) << "node " << id << " already crashed";
   network_.DisconnectNode(id);
+  network_.obligations().DropNode(id);
   for (BunchId bunch : directory_.AllBunches()) {
     directory_.NoteUnmapped(bunch, id);
   }

@@ -7,6 +7,7 @@
 #include "src/common/check.h"
 #include "src/common/task_pool.h"
 #include "src/runtime/consistency_checker.h"
+#include "src/runtime/liveness.h"
 #include "src/runtime/oracle.h"
 
 namespace bmx {
@@ -40,9 +41,24 @@ RunResult Explorer::RunOnce(const ExplorerScenario& scenario, uint64_t walk_seed
   }
 
   InvariantOracle oracle(cluster.get());
+  std::unique_ptr<LivenessOracle> liveness;
+  if (options_.check_liveness) {
+    liveness = std::make_unique<LivenessOracle>(cluster.get());
+  }
   bool mid_run_violation = false;
   net.set_delivery_observer([&](const Message&) {
     result.deliveries++;
+    if (liveness != nullptr && !mid_run_violation) {
+      std::vector<std::string> stalls = liveness->OnDelivery();
+      if (!stalls.empty()) {
+        mid_run_violation = true;
+        result.first_violation_index = net.decisions().next_index();
+        for (std::string& v : stalls) {
+          result.violations.push_back("mid-run liveness: " + std::move(v));
+        }
+        return;
+      }
+    }
     if (mid_run_violation || stride == 0 || result.deliveries % stride != 0) {
       return;
     }
@@ -67,6 +83,11 @@ RunResult Explorer::RunOnce(const ExplorerScenario& scenario, uint64_t walk_seed
     ConsistencyChecker checker(cluster->history(), &cluster->directory());
     for (std::string& v : checker.Check()) {
       result.violations.push_back("consistency: " + std::move(v));
+    }
+  }
+  if (liveness != nullptr) {
+    for (std::string& v : liveness->CheckAtQuiescence()) {
+      result.violations.push_back("liveness: " + std::move(v));
     }
   }
   result.violated = !result.violations.empty();

@@ -64,6 +64,13 @@ struct ExplorerOptions {
   // oracle's, prefixed "consistency: ".  Recording is observation-only, so
   // fingerprints — and therefore shrinking and replay — are unaffected.
   bool check_consistency = false;
+  // Enable the obligation tracker on the cluster's network and run the
+  // LivenessOracle: a windowed no-progress probe after every delivery and a
+  // full stalled-obligation check at quiescence; its verdicts join the
+  // oracle's, prefixed "liveness: ".  Tracking is observation-only (the
+  // tracker never touches the network), so fingerprints — and therefore
+  // shrinking and replay — are unaffected.
+  bool check_liveness = false;
   // When non-empty, the shrunk trace of a violating walk is written here as
   // "<scenario>-violation.trace".
   std::string trace_dir;

@@ -35,6 +35,7 @@ std::set<NodeId> RecoveryManager::PeerSet() const {
 void RecoveryManager::RunRecovery() {
   GlobalPerfCounters().recoveries++;
   in_progress_ = true;
+  network_->obligations().Open(ObligationKind::kRecovery, id_, 0);
   persistence_->Recover();
 
   // --- 1. Reload every checkpointed segment the manifest names. ---
@@ -139,6 +140,7 @@ void RecoveryManager::RunRecovery() {
     network_->Send(id_, peer, std::move(done));
   }
   network_->RunUntilIdle();
+  network_->obligations().Close(ObligationKind::kRecovery, id_, 0);
   in_progress_ = false;
 }
 

@@ -204,6 +204,36 @@ ExplorerScenario StaleReadCanaryScenario() {
   return scenario;
 }
 
+ExplorerScenario ZombieGrantCanaryScenario() {
+  ExplorerScenario scenario;
+  scenario.name = "canary-zombie-grant";
+  scenario.make = ThreeNodes;
+  scenario.run = [](Cluster& c) {
+    Mutator m0(&c.node(0));
+    Mutator m1(&c.node(1));
+    BunchId b = c.CreateBunch(0);
+    Gaddr a = m0.Alloc(b, 1);
+    m0.AddRoot(a);
+    c.Pump();
+    // The gray failure: node 1 looks transport-healthy to node 0 (acks flow,
+    // retransmission never fires) but every payload 0→1 is swallowed before
+    // dispatch.  Installed inside the closure so recorded traces replay under
+    // the same profile.
+    LinkProfile zombie;
+    zombie.zombie = true;
+    c.network().InstallLinkProfile(0, 1, zombie);
+    // The acquire reaches node 0 and is granted — the grant dies on the
+    // zombie link, so the requester waits forever on a promise nothing can
+    // discharge.  The acquire returns false (the network quiesced without
+    // completion); its obligation stays open for the oracle.
+    if (m1.AcquireRead(a)) {
+      m1.Release(a);
+    }
+    c.Pump();
+  };
+  return scenario;
+}
+
 ExplorerScenario HistoryWorkloadScenario(const HistoryWorkloadOptions& options) {
   ExplorerScenario scenario;
   scenario.name = "history-workload";

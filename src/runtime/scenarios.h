@@ -40,6 +40,17 @@ ExplorerScenario CanaryReorderScenario();
 // trace to (near) nothing.
 ExplorerScenario StaleReadCanaryScenario();
 
+// The planted-livelock workload: fig2's shape with a zombie profile installed
+// on the owner→requester link before the requester's acquire, so the grant is
+// transport-acked but never dispatched.  The requester's acquire obligation
+// stays open with no excuse — the target is alive and attached, no traffic
+// remains, and the owner holds no deferred work for it — which is exactly the
+// gray failure the LivenessOracle exists to flag (run with check_liveness
+// on).  The schedule does not matter, so any walk finds it and shrinking
+// collapses the trace to (near) nothing.  Used by tests and CI to prove the
+// liveness find→record→shrink→replay pipeline works.
+ExplorerScenario ZombieGrantCanaryScenario();
+
 // Knobs of the randomized mutator workload below.  Every field is part of the
 // scenario's identity: the op sequence is a pure function of (knobs, cluster
 // seed), independent of the delivery schedule — acquires that fail under an

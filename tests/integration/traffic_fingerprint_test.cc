@@ -176,5 +176,49 @@ TEST(TrafficFingerprint, PostGcAcquireRound) {
             "InvalidateAck:16:192\n");
 }
 
+// Obligation tracking is pure observation: the acquire-round workload with
+// the liveness ledger enabled must produce the identical pinned fingerprint
+// (and the tracker must actually have seen traffic, so the guard is not
+// vacuous).
+TEST(TrafficFingerprint, PostGcAcquireRoundUnchangedByLivenessTracking) {
+  Cluster cluster({.num_nodes = 4});
+  cluster.network().obligations().Enable();
+  std::vector<std::unique_ptr<Mutator>> mutators;
+  for (size_t i = 0; i < 4; ++i) {
+    mutators.push_back(std::make_unique<Mutator>(&cluster.node(i)));
+  }
+  BunchId bunch = cluster.CreateBunch(0);
+  Gaddr head = BuildList(&cluster, &mutators, bunch, 100, 2);
+  cluster.node(0).gc().CollectBunch(bunch);
+  cluster.Pump();
+  cluster.network().ResetStats();
+
+  for (size_t r : {2u, 1u}) {
+    Gaddr cur = head;
+    while (cur != kNullAddr) {
+      ASSERT_TRUE(mutators[r]->AcquireRead(cur));
+      Gaddr next = mutators[r]->ReadRef(cur, 0);
+      mutators[r]->Release(cur);
+      cur = next;
+    }
+  }
+  Gaddr cur = head;
+  for (int i = 0; i < 8 && cur != kNullAddr; ++i) {
+    ASSERT_TRUE(mutators[3]->AcquireWrite(cur));
+    Gaddr next = mutators[3]->ReadRef(cur, 0);
+    mutators[3]->Release(cur);
+    cur = next;
+  }
+  cluster.Pump();
+
+  EXPECT_EQ(Fingerprint(cluster.network().stats()),
+            "AcquireRequest:108:2592\n"
+            "Grant:108:12380\n"
+            "Invalidate:16:192\n"
+            "InvalidateAck:16:192\n");
+  EXPECT_GT(cluster.network().obligations().retired(), 0u);
+  EXPECT_EQ(cluster.network().obligations().OpenCount(), 0u);
+}
+
 }  // namespace
 }  // namespace bmx

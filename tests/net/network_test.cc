@@ -497,5 +497,190 @@ TEST(Network, CategoryLedgerCountsLogicalSendsOnceAcrossParkAndRedeliver) {
   EXPECT_GE(net.stats().ForCategory(MsgCategory::kGcBackground).wire_bytes, 16u);
 }
 
+// --- Gray failures: per-link profiles, zombie links, bounded quiescence ---
+
+// Zombie stats pin the accounting convention: a swallowed dispatch is a wire
+// event and a transport success (acked — so no retransmissions), but never a
+// logical delivery.  Mirrors the parked/redelivered convention.
+TEST(Network, ZombieLinkStatsPinned) {
+  Network net(1);
+  Recorder r;
+  net.RegisterNode(1, &r);
+  LinkProfile zombie;
+  zombie.zombie = true;
+  net.InstallLinkProfile(0, 1, zombie);
+  net.Send(0, 1, std::make_shared<ReliableProbe>());
+  net.RunUntilIdle();
+  const auto& pk = net.stats().For(MsgKind::kAddressChange);
+  EXPECT_EQ(pk.sent, 1u);
+  EXPECT_EQ(pk.delivered, 0u);
+  EXPECT_EQ(pk.zombie_dropped, 1u);
+  EXPECT_EQ(pk.retransmits, 0u);  // transport acked: the sender is satisfied
+  EXPECT_EQ(pk.bytes, 8u);
+  EXPECT_EQ(pk.wire_bytes, 8u);
+  EXPECT_EQ(net.UnackedCount(), 0u);
+  EXPECT_TRUE(r.received.empty());
+}
+
+// A duplicated wire copy of a zombie-dropped reliable payload still hits the
+// receiver-side dedup (the transport fully runs): one zombie drop, one
+// suppression, zero deliveries.
+TEST(Network, ZombieTransportStillDeduplicates) {
+  Network net(1);
+  Recorder r;
+  net.RegisterNode(1, &r);
+  LinkProfile zombie;
+  zombie.zombie = true;
+  zombie.duplication_rate = 1.0;
+  net.InstallLinkProfile(0, 1, zombie);
+  net.Send(0, 1, std::make_shared<ReliableProbe>());
+  net.RunUntilIdle();
+  const auto& pk = net.stats().For(MsgKind::kAddressChange);
+  EXPECT_EQ(pk.duplicated, 1u);
+  EXPECT_EQ(pk.zombie_dropped, 1u);
+  EXPECT_EQ(pk.dup_suppressed, 1u);
+  EXPECT_EQ(pk.delivered, 0u);
+  EXPECT_EQ(pk.wire_bytes, 16u);  // both copies crossed the wire
+  EXPECT_TRUE(r.received.empty());
+}
+
+// SetZombieNode covers every inbound link of the node.
+TEST(Network, ZombieNodeSwallowsAllInboundDispatch) {
+  Network net(1);
+  Recorder r;
+  net.RegisterNode(2, &r);
+  net.SetZombieNode(2, true);
+  net.Send(0, 2, std::make_shared<ReliableProbe>());
+  net.Send(1, 2, std::make_shared<UnreliableProbe>());
+  net.RunUntilIdle();
+  EXPECT_TRUE(r.received.empty());
+  EXPECT_EQ(net.stats().For(MsgKind::kAddressChange).zombie_dropped, 1u);
+  EXPECT_EQ(net.stats().For(MsgKind::kReachabilityTable).zombie_dropped, 1u);
+  net.SetZombieNode(2, false);
+  net.Send(0, 2, std::make_shared<ReliableProbe>());
+  net.RunUntilIdle();
+  EXPECT_EQ(r.received.size(), 1u);
+}
+
+// The category mask scopes the gray failure: DSM traffic dies, GC-background
+// traffic still dispatches.
+TEST(Network, ZombieCategoryMaskIsSelective) {
+  Network net(1);
+  Recorder r;
+  net.RegisterNode(1, &r);
+  LinkProfile zombie;
+  zombie.zombie = true;
+  zombie.zombie_categories = {{true, false, false}};  // kDsm only
+  net.InstallLinkProfile(0, 1, zombie);
+  net.Send(0, 1, std::make_shared<ReliableProbe>());  // kGcBackground: passes
+  net.RunUntilIdle();
+  EXPECT_EQ(r.received.size(), 1u);
+  EXPECT_EQ(net.stats().For(MsgKind::kAddressChange).zombie_dropped, 0u);
+}
+
+// Directional latency delays readiness without reordering a channel, and the
+// virtual clock jumps to the earliest ready time instead of spinning.
+TEST(Network, LinkLatencyDelaysDeliveryAndAdvancesClock) {
+  Network net(1);
+  Recorder r;
+  net.RegisterNode(1, &r);
+  LinkProfile slow;
+  slow.latency_ticks = 50;
+  net.InstallLinkProfile(0, 1, slow);
+  auto late = std::make_shared<ReliableProbe>();
+  late->value = 7;
+  net.Send(0, 1, std::move(late));  // ready at 50
+  auto prompt = std::make_shared<ReliableProbe>();
+  prompt->value = 8;
+  net.Send(2, 1, std::move(prompt));  // ready immediately
+  net.RunUntilIdle();
+  ASSERT_EQ(r.received.size(), 2u);
+  EXPECT_EQ(ValueOf(r.received[0]), 8u);  // the un-delayed link goes first
+  EXPECT_EQ(ValueOf(r.received[1]), 7u);
+  EXPECT_GE(net.now(), 50u);
+}
+
+// Per-link loss overrides the global knob for that link only, and the
+// overridden draws come from a dedicated per-link stream (installing the
+// profile must not perturb other links' fault sequences).
+TEST(Network, PerLinkLossOverridesGlobalKnob) {
+  Network net(99);
+  Recorder r;
+  net.RegisterNode(1, &r);
+  LinkProfile lossy;
+  lossy.loss_rate = 1.0 - 1e-9;  // rates must stay below 1; effectively all
+  net.InstallLinkProfile(0, 1, lossy);
+  for (int i = 0; i < 50; ++i) {
+    net.Send(0, 1, std::make_shared<UnreliableProbe>());  // doomed link
+    net.Send(2, 1, std::make_shared<UnreliableProbe>());  // clean link
+  }
+  net.RunUntilIdle();
+  EXPECT_EQ(r.received.size(), 50u);  // every survivor came over 2→1
+  for (const Message& m : r.received) {
+    EXPECT_EQ(m.src, 2u);
+  }
+  EXPECT_EQ(net.stats().For(MsgKind::kReachabilityTable).dropped, 50u);
+}
+
+// With no profile installed the fingerprint must be bit-identical to a run
+// without the profile table ever consulted — installing and clearing a
+// profile on an unrelated link must also leave other links untouched.
+TEST(Network, FingerprintNeutralWithoutProfiles) {
+  auto drive = [](Network& net) {
+    Recorder r;
+    net.RegisterNode(1, &r);
+    net.set_loss_rate(0.3);
+    net.set_reliable_loss_rate(0.2);
+    for (int i = 0; i < 40; ++i) {
+      net.Send(0, 1, std::make_shared<ReliableProbe>());
+      net.Send(0, 1, std::make_shared<UnreliableProbe>());
+    }
+    net.RunUntilIdle();
+    return net.stats().Fingerprint();
+  };
+  Network plain(7);
+  Network probed(7);
+  LinkProfile unrelated;
+  unrelated.loss_rate = 0.9;
+  probed.InstallLinkProfile(5, 6, unrelated);  // never carries traffic
+  probed.ClearLinkProfile(5, 6);
+  EXPECT_EQ(drive(plain), drive(probed));
+}
+
+// An intentional livelock (two handlers ping-ponging forever) trips the step
+// bound with a diagnostic instead of hanging the harness.
+TEST(Network, RunUntilIdleBoundedFlagsNonQuiescence) {
+  struct Echo : public MessageHandler {
+    Network* net = nullptr;
+    void HandleMessage(const Message& msg) override {
+      net->Send(msg.dst, msg.src, std::make_shared<ReliableProbe>());
+    }
+  };
+  Network net(1);
+  Echo a;
+  Echo b;
+  a.net = &net;
+  b.net = &net;
+  net.RegisterNode(1, &a);
+  net.RegisterNode(2, &b);
+  net.Send(1, 2, std::make_shared<ReliableProbe>());
+  std::string diagnostic;
+  EXPECT_FALSE(net.RunUntilIdleBounded(500, &diagnostic));
+  EXPECT_NE(diagnostic.find("pending="), std::string::npos) << diagnostic;
+}
+
+TEST(Network, RunUntilIdleBoundedPassesQuiescentRuns) {
+  Network net(1);
+  Recorder r;
+  net.RegisterNode(1, &r);
+  for (int i = 0; i < 10; ++i) {
+    net.Send(0, 1, std::make_shared<ReliableProbe>());
+  }
+  std::string diagnostic;
+  EXPECT_TRUE(net.RunUntilIdleBounded(100000, &diagnostic));
+  EXPECT_TRUE(diagnostic.empty());
+  EXPECT_EQ(r.received.size(), 10u);
+}
+
 }  // namespace
 }  // namespace bmx
