@@ -1,0 +1,175 @@
+// S1 — scale-out transport (PROTOCOLS.md §14, EXPERIMENTS.md S1): wire
+// messages, wire bytes and wall-clock of an invalidation- and reclaim-heavy
+// interference shape (E3/E6-style) as the cluster grows, with the batched
+// control-message transport off (the pinned baseline) and on.
+//
+// The shape is built to exercise the traffic classes batching targets:
+//   - scion churn: every round rewrites the cross-bunch references to
+//     freshly allocated away-bunch targets, so each store defeats the SSP
+//     dedup and the write barrier emits a scion-create train on the one
+//     channel to the away node;
+//   - replica reclaim: one replica per round (rotating) collects the home
+//     bunch and reclaims its from-space — its stale copies of the shared
+//     population are live but not locally owned, so the §4.5 round sends a
+//     copy-request train to the owner and gets a copy-reply train back;
+//   - invalidation fan-out: a hot subset is re-read by every replica and then
+//     write-upgraded by the owner, fanning single invalidations out to N-1
+//     nodes — synchronous one-per-destination traffic that per-destination
+//     batching cannot coalesce, kept in the mix so the measured ratio is
+//     honest about it.
+//
+// Counters (per iteration): wire_msgs / wire_bytes (what actually crossed the
+// simulated wire), logical_msgs (protocol messages — identical on vs off by
+// construction), frames / batched (coalescing activity).  The S1 acceptance
+// bar is wire_msgs(off) / wire_msgs(on) >= 3 at 16 nodes.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/net/batch.h"
+
+namespace bmx {
+namespace {
+
+constexpr size_t kChurnObjects = 256;  // cross-bunch reference rewrites / round
+constexpr size_t kSharedObjects = 96;  // replicated everywhere, reclaim-copied
+constexpr size_t kHotObjects = 2;      // re-read + write-upgraded every round
+
+struct ScaleRig {
+  ScaleRig(size_t nodes, bool batching) {
+    ClusterOptions options;
+    options.num_nodes = nodes;
+    options.seed = 1;
+    if (batching) {
+      options.batch.enabled = true;
+    }
+    cluster = std::make_unique<Cluster>(options);
+    for (size_t i = 0; i < nodes; ++i) {
+      mutators.push_back(std::make_unique<Mutator>(&cluster->node(i)));
+    }
+    // Bunch 0 (node 0) holds the shared population and the churn spine;
+    // bunch 1 (node 1) holds the churn targets the cross-bunch references
+    // point into.
+    home = cluster->CreateBunch(0);
+    away = cluster->CreateBunch(1);
+    Mutator& owner = *mutators[0];
+    for (size_t i = 0; i < kSharedObjects; ++i) {
+      Gaddr obj = owner.Alloc(home, 3);
+      owner.WriteWord(obj, 1, i);
+      owner.AddRoot(obj);
+      shared.push_back(obj);
+    }
+    for (size_t i = 0; i < kChurnObjects; ++i) {
+      Gaddr obj = owner.Alloc(home, 3);
+      owner.AddRoot(obj);
+      churn.push_back(obj);
+    }
+    // The away bunch exists from the start (its creator allocates the first
+    // target) so churn rounds only ever append fresh targets to it.
+    mutators[1]->AddRoot(mutators[1]->Alloc(away, 1));
+    cluster->Pump();
+    // Replicate the shared population on every non-owner, rooted there: the
+    // copies are live but not locally owned, which is exactly what a replica
+    // BGC strands in from-space and a §4.5 reclaim round copy-requests.  Each
+    // replica also owns one anchor object in the home bunch so its BGC has
+    // something to copy — without a copy the collection never flips and no
+    // from-space exists to reclaim.  Setup traffic is excluded from the
+    // counters.
+    for (size_t r = 1; r < mutators.size(); ++r) {
+      mutators[r]->AddRoot(mutators[r]->Alloc(home, 1));
+      for (Gaddr obj : shared) {
+        Gaddr cur = cluster->node(r).dsm().ResolveAddr(obj);
+        if (mutators[r]->AcquireRead(cur)) {
+          mutators[r]->Release(cur);
+          mutators[r]->AddRoot(cur);
+        }
+      }
+    }
+    cluster->Pump();
+  }
+
+  // One interference round; see the file comment for the three traffic
+  // classes it drives.
+  void Round() {
+    Mutator& owner = *mutators[0];
+    // Scion churn: fresh away-bunch targets every round, so every WriteRef
+    // creates a brand-new SSP and the barrier's scion creates train up on
+    // the (owner -> away node) channel instead of hitting the dedup.
+    for (size_t i = 0; i < churn.size(); ++i) {
+      Gaddr fresh = mutators[1]->Alloc(away, 1);
+      Gaddr obj = cluster->node(0).dsm().ResolveAddr(churn[i]);
+      owner.WriteRef(obj, 2, fresh);
+    }
+    cluster->Pump();
+    // Replica reclaim (rotating): the replica's BGC leaves its live-but-not-
+    // owned copies of the shared population stranded in from-space, and the
+    // §4.5 reclaim round turns them into a copy-request train to the owner
+    // plus the owner's copy-reply train back.
+    NodeId reclaimer = static_cast<NodeId>(1 + (round_ % (mutators.size() - 1)));
+    round_++;
+    cluster->node(reclaimer).gc().CollectBunch(home);
+    cluster->Pump();
+    cluster->node(reclaimer).gc().ReclaimFromSpaces(home);
+    cluster->Pump();
+    for (size_t r = 1; r < mutators.size(); ++r) {
+      for (size_t i = 0; i < kHotObjects; ++i) {
+        Gaddr cur = cluster->node(r).dsm().ResolveAddr(shared[i]);
+        if (mutators[r]->AcquireRead(cur)) {
+          mutators[r]->Release(cur);
+        }
+      }
+    }
+    for (size_t i = 0; i < kHotObjects; ++i) {
+      Gaddr cur = cluster->node(0).dsm().ResolveAddr(shared[i]);
+      if (owner.AcquireWrite(cur)) {
+        owner.WriteWord(cur, 1, i + 100);
+        owner.Release(cur);
+      }
+    }
+    cluster->Pump();
+  }
+
+  std::unique_ptr<Cluster> cluster;
+  std::vector<std::unique_ptr<Mutator>> mutators;
+  uint64_t round_ = 0;
+  BunchId home = 0;
+  BunchId away = 0;
+  std::vector<Gaddr> shared;
+  std::vector<Gaddr> churn;
+};
+
+void S1_Scale(benchmark::State& state) {
+  size_t nodes = static_cast<size_t>(state.range(0));
+  bool batching = state.range(1) != 0;
+  ScaleRig rig(nodes, batching);
+  rig.Round();  // warm the token / replica steady state before counting
+  rig.cluster->network().ResetStats();
+  uint64_t iters = 0;
+  for (auto _ : state) {
+    rig.Round();
+    ++iters;
+  }
+  const NetworkStats& stats = rig.cluster->network().stats();
+  double n = iters > 0 ? static_cast<double>(iters) : 1.0;
+  state.counters["wire_msgs"] = static_cast<double>(stats.wire_messages) / n;
+  state.counters["wire_bytes"] = static_cast<double>(stats.TotalWireBytes()) / n;
+  state.counters["logical_msgs"] = static_cast<double>(stats.TotalSent()) / n;
+  state.counters["frames"] = static_cast<double>(stats.batching.frames_sent) / n;
+  state.counters["batched"] = static_cast<double>(stats.batching.batched_payloads) / n;
+}
+BENCHMARK(S1_Scale)
+    ->Args({4, 0})
+    ->Args({4, 1})
+    ->Args({8, 0})
+    ->Args({8, 1})
+    ->Args({16, 0})
+    ->Args({16, 1})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bmx
+
+BMX_BENCHMARK_MAIN();

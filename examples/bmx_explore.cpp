@@ -11,7 +11,8 @@
 //               [--trace-dir DIR] [--scenario NAME] [--canary]
 //               [--stale-canary] [--zombie-canary] [--consistency]
 //               [--liveness] [--gray SPEC] [--zombie NODE]
-//               [--workload] [--list]
+//               [--workload] [--soak] [--nodes N] [--topology KIND]
+//               [--degree K] [--ops N] [--batch] [--list]
 //
 // --canary swaps in the planted-ordering-bug scenario (a self-test of the
 // find→shrink→replay pipeline: it MUST violate, and the run fails if the
@@ -24,6 +25,14 @@
 // LivenessOracle verdicts; --workload appends the randomized mutator
 // workload to the scenario set.
 //
+// Scale-out knobs: --soak swaps in the SoakScenario (the long randomized
+// multi-node workload from src/workload/soak.h) and --nodes / --topology
+// (full|ring|star|random-regular) / --degree / --ops shape it; --nodes also
+// appends the scaled fig. 1–4 closures (ScaledScenarios) to the standard set
+// when --soak is not given.  --batch turns on the coalescing transport
+// (src/net/batch.h defaults) inside every scenario cluster it shapes; the
+// default is off — the pinned-fingerprint baseline.
+//
 // --gray installs a gray-failure profile (see src/net/gray_failure.h for the
 // DSL, e.g. "0->1:lat=4,loss=0.2") inside every scenario closure, so walks,
 // shrinking and replay all run under the same degraded links.  --zombie N
@@ -32,12 +41,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iterator>
 #include <string>
 #include <vector>
 
 #include "src/net/gray_failure.h"
 #include "src/runtime/explorer.h"
 #include "src/runtime/scenarios.h"
+#include "src/workload/soak.h"
 
 using namespace bmx;
 
@@ -75,7 +86,11 @@ int main(int argc, char** argv) {
   bool stale_canary = false;
   bool zombie_canary = false;
   bool workload = false;
+  bool soak = false;
   bool list = false;
+  size_t nodes = 0;  // 0 = unset: standard 3-node set only, soak default 16
+  SoakOptions soak_opts;
+  BatchPolicy batch;  // enabled by --batch, with the header defaults
   GraySpec gray;
 
   for (int i = 1; i < argc; ++i) {
@@ -140,6 +155,22 @@ int main(int argc, char** argv) {
       gray.zombie_nodes.push_back(static_cast<NodeId>(ParseU64(next("--zombie"))));
     } else if (std::strcmp(argv[i], "--workload") == 0) {
       workload = true;
+    } else if (std::strcmp(argv[i], "--soak") == 0) {
+      soak = true;
+    } else if (std::strcmp(argv[i], "--nodes") == 0) {
+      nodes = static_cast<size_t>(ParseU64(next("--nodes")));
+    } else if (std::strcmp(argv[i], "--topology") == 0) {
+      std::string kind = next("--topology");
+      if (!ParseTopologyKind(kind, &soak_opts.topology)) {
+        std::fprintf(stderr, "unknown topology: %s\n", kind.c_str());
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--degree") == 0) {
+      soak_opts.topology_degree = static_cast<size_t>(ParseU64(next("--degree")));
+    } else if (std::strcmp(argv[i], "--ops") == 0) {
+      soak_opts.ops = static_cast<size_t>(ParseU64(next("--ops")));
+    } else if (std::strcmp(argv[i], "--batch") == 0) {
+      batch.enabled = true;
     } else if (std::strcmp(argv[i], "--list") == 0) {
       list = true;
     } else {
@@ -155,8 +186,19 @@ int main(int argc, char** argv) {
     scenarios.push_back(StaleReadCanaryScenario());
   } else if (zombie_canary) {
     scenarios.push_back(ZombieGrantCanaryScenario());
+  } else if (soak) {
+    if (nodes > 0) {
+      soak_opts.num_nodes = nodes;
+    }
+    soak_opts.batch = batch;
+    scenarios.push_back(SoakScenario(soak_opts));
   } else {
     std::vector<ExplorerScenario> all = StandardScenarios();
+    if (nodes > 0) {
+      std::vector<ExplorerScenario> scaled = ScaledScenarios(nodes, batch);
+      all.insert(all.end(), std::make_move_iterator(scaled.begin()),
+                 std::make_move_iterator(scaled.end()));
+    }
     if (workload) {
       all.push_back(HistoryWorkloadScenario());
     }

@@ -58,6 +58,8 @@ enum class RngStream : uint64_t {
   kLinkLoss,            // per-link loss draws (gray-failure LinkProfile)
   kLinkDuplication,     // per-link duplication draws
   kLinkReliableLoss,    // per-link in-flight loss of reliable transmissions
+  kTopology,            // random-regular topology generation
+  kSoak,                // soak-workload operation plans
 };
 
 // Derives the seed of one purpose-specific stream from a root seed.  Two

@@ -48,6 +48,9 @@ enum class MsgKind : uint8_t {
   kRecoveryQuery,     // restarted node asks peers about tokens/scions/tables
   kRecoveryReply,
 
+  // --- Batched transport (src/net/batch.h, PROTOCOLS.md §14). ---
+  kBatchFrame,        // coalesced small control messages, one wire frame
+
   kMaxKind,  // sentinel, keep last
 };
 

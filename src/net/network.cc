@@ -54,6 +54,8 @@ const char* MsgKindName(MsgKind kind) {
       return "RecoveryQuery";
     case MsgKind::kRecoveryReply:
       return "RecoveryReply";
+    case MsgKind::kBatchFrame:
+      return "BatchFrame";
     case MsgKind::kMaxKind:
       break;
   }
@@ -268,6 +270,14 @@ bool Network::HasTrafficTouching(NodeId node) const {
       return true;
     }
   }
+  // Payloads still coalescing are in-flight traffic too: a deadline or
+  // quiescence flush will put them on the wire without new protocol action,
+  // so the liveness oracle must keep excusing obligations waiting on them.
+  for (const auto& [key, batch] : pending_batches_) {
+    if (key.first == node || key.second == node) {
+      return true;
+    }
+  }
   return false;
 }
 
@@ -306,6 +316,12 @@ std::string Network::DebugDump() const {
       out += " stashed=" + std::to_string(channel.stashed.size());
     }
     out += "\n";
+  }
+  for (const auto& [key, batch] : pending_batches_) {
+    out += "  batch " + std::to_string(key.first) + "->" + std::to_string(key.second) +
+           ": entries=" + std::to_string(batch.entries.size()) +
+           " bytes=" + std::to_string(batch.bytes) +
+           " deadline=" + std::to_string(batch.deadline) + "\n";
   }
   if (obligations_.enabled() && obligations_.OpenCount() > 0) {
     out += obligations_.Dump();
@@ -458,6 +474,7 @@ void Network::RegisterNode(NodeId node, MessageHandler* handler) {
       channel.unacked.emplace(msg.rel_seq, replay);
       channel.queue.push_back(std::move(msg));
       pending_++;
+      stats_.wire_messages++;
       stats_.For(entry.msg.payload->kind()).redelivered++;
       CountWireCopy(*entry.msg.payload);
     }
@@ -474,6 +491,7 @@ void Network::Enqueue(Channel* channel, Message msg) {
     channel->queue.push_back(std::move(msg));
   }
   pending_++;
+  stats_.wire_messages++;
 }
 
 void Network::Send(NodeId src, NodeId dst, std::shared_ptr<const Payload> payload) {
@@ -494,6 +512,18 @@ void Network::Send(NodeId src, NodeId dst, std::shared_ptr<const Payload> payloa
   pk.bytes += size;
   pc.sent++;
   pc.bytes += size;
+  if (batch_policy_.enabled) {
+    // Coalescing layer: small control payloads buffer into the channel's
+    // pending batch (logical stats above are final — the frame, not the
+    // payload, will be the wire copy).  A non-batchable send flushes the
+    // channel's batch first, so the reliable stream keeps the exact send
+    // order — a grant can never overtake the invalidations sent before it.
+    if (Batchable(*payload)) {
+      AppendToBatch(src, dst, std::move(payload));
+      return;
+    }
+    FlushBatchFor({src, dst}, &stats_.batching.flush_ordering);
+  }
   CountWireCopy(*payload);
 
   // An installed LinkProfile substitutes per-link (rate, rng) pairs at the
@@ -552,6 +582,207 @@ void Network::Send(NodeId src, NodeId dst, std::shared_ptr<const Payload> payloa
     Enqueue(&channel, msg);
   }
   Enqueue(&channel, std::move(msg));
+}
+
+void Network::set_batch_policy(const BatchPolicy& policy) {
+  BMX_CHECK_EQ(pending_batched_, 0u)
+      << "set the batch policy before any batchable traffic is pending";
+  if (policy.enabled) {
+    BMX_CHECK_GT(policy.max_entries, 0u);
+    BMX_CHECK_LE(policy.max_entries, kMaxBatchEntries);
+    BMX_CHECK_GT(policy.max_bytes, 0u);
+    // A batch seals when it *reaches* a cap, so the worst-case frame holds
+    // max_bytes - 1 buffered bytes plus one more batchable payload; the codec
+    // bound must accommodate it with all framing overhead.
+    BMX_CHECK_LE(kBatchFrameHeaderBytes + kBatchFrameTrailerBytes +
+                     policy.max_entries * kBatchEntryHeaderBytes + policy.max_bytes +
+                     policy.batchable_size_limit,
+                 kMaxBatchFrameBytes)
+        << "flush caps exceed the batch-frame codec bound";
+  }
+  batch_policy_ = policy;
+}
+
+bool Network::Batchable(const Payload& payload) const {
+  return BatchableMsgKind(payload.kind()) && payload.reliable() &&
+         payload.WireSize() <= batch_policy_.batchable_size_limit;
+}
+
+void Network::AppendToBatch(NodeId src, NodeId dst, std::shared_ptr<const Payload> payload) {
+  Channel& channel = channels_[{src, dst}];
+  BatchedMessage entry;
+  // The logical message keeps its own wire-sequence identity: the history
+  // recorder snapshots causality *now* (at the logical send), and the unpack
+  // path restores the same seq so the delivery joins this snapshot — batching
+  // coarsens the wire, never the observed causality.
+  entry.seq = channel.next_seq++;
+  entry.payload = std::move(payload);
+  BMX_HISTORY_HOOK(history_, OnSend(src, dst, entry.seq));
+  PendingBatch& batch = pending_batches_[{src, dst}];
+  if (batch.entries.empty()) {
+    batch.deadline = now_ + batch_policy_.deadline_ticks;
+  }
+  batch.bytes += entry.payload->WireSize();
+  batch.entries.push_back(std::move(entry));
+  pending_batched_++;
+  stats_.batching.batched_payloads++;
+  if (batch.entries.size() >= batch_policy_.max_entries ||
+      batch.bytes >= batch_policy_.max_bytes) {
+    stats_.batching.flush_full++;
+    PendingBatch full = std::move(batch);
+    pending_batches_.erase({src, dst});
+    FlushBatch({src, dst}, std::move(full));
+  }
+}
+
+void Network::FlushBatchFor(const ChannelKey& key, uint64_t* trigger_counter) {
+  auto it = pending_batches_.find(key);
+  if (it == pending_batches_.end()) {
+    return;
+  }
+  (*trigger_counter)++;
+  PendingBatch batch = std::move(it->second);
+  pending_batches_.erase(it);
+  FlushBatch(key, std::move(batch));
+}
+
+void Network::FlushDueBatches() {
+  // Collect first: flushing erases map entries, which must not race the
+  // iteration.
+  std::vector<ChannelKey> due;
+  for (const auto& [key, batch] : pending_batches_) {
+    if (batch.deadline <= now_) {
+      due.push_back(key);
+    }
+  }
+  for (const ChannelKey& key : due) {
+    FlushBatchFor(key, &stats_.batching.flush_deadline);
+  }
+}
+
+size_t Network::FlushAllBatches() {
+  size_t flushed = 0;
+  while (!pending_batches_.empty()) {
+    FlushBatchFor(pending_batches_.begin()->first, &stats_.batching.flush_quiesce);
+    flushed++;
+  }
+  return flushed;
+}
+
+void Network::FlushBatch(const ChannelKey& key, PendingBatch batch) {
+  BMX_CHECK(!batch.entries.empty());
+  pending_batched_ -= batch.entries.size();
+  auto frame = std::make_shared<BatchFramePayload>();
+  frame->set_category(batch.entries.front().payload->category());
+  std::vector<BatchWireEntry> wire;
+  wire.reserve(batch.entries.size());
+  for (const BatchedMessage& e : batch.entries) {
+    BatchWireEntry w;
+    w.kind = static_cast<uint8_t>(e.payload->kind());
+    w.category = static_cast<uint8_t>(e.payload->category());
+    // In-process payloads are typed structs, not byte strings; the image
+    // carries a zero-filled body of the payload's wire size so the frame's
+    // size, checksum and validation cover the real wire cost.
+    w.body.resize(e.payload->WireSize(), 0);
+    wire.push_back(std::move(w));
+  }
+  frame->image = EncodeBatchFrame(wire);
+  frame->entries = std::move(batch.entries);
+  stats_.batching.frames_sent++;
+
+  // Wire path, mirroring the tail of Send(): the frame is a reliable payload
+  // like any other — duplication draws, in-flight loss, retransmission,
+  // dedup, parking and redelivery all apply to it, at the same decision
+  // points, so record/replay covers batched runs unchanged.
+  Channel& channel = channels_[key];
+  Message msg;
+  msg.src = key.first;
+  msg.dst = key.second;
+  msg.seq = channel.next_seq++;
+  msg.rel_seq = channel.next_rel_seq++;
+  msg.src_epoch = IncarnationOf(key.first);
+  msg.dst_epoch = IncarnationOf(key.second);
+  msg.ready_at = ReadyAt(key);
+  msg.payload = std::move(frame);
+  CountWireCopy(*msg.payload);
+
+  RetxEntry entry;
+  entry.msg = msg;
+  entry.next_retry = now_ + retry_.BackoffFor(0, msg.rel_seq);
+  channel.unacked.emplace(msg.rel_seq, std::move(entry));
+
+  LinkState* link = FindLinkState(key);
+  double dup_rate = duplication_rate_;
+  Rng* dup_rng = &dup_rng_;
+  if (link != nullptr && link->profile.duplication_rate >= 0) {
+    dup_rate = link->profile.duplication_rate;
+    dup_rng = &link->dup_rng;
+  }
+  if (DrawChance(DecisionPoint::kDuplication, dup_rate, dup_rng)) {
+    stats_.For(msg.payload->kind()).duplicated++;
+    CountWireCopy(*msg.payload);
+    Enqueue(&channel, msg);
+  }
+  Enqueue(&channel, std::move(msg));
+}
+
+bool Network::DispatchReliable(const ChannelKey& key, MessageHandler* handler,
+                               const Message& msg) {
+  if (msg.payload->kind() != MsgKind::kBatchFrame) {
+    if (ZombieDrop(key, msg)) {
+      // Zombie link/peer: the transport completed (acked, deduplicated,
+      // reassembled) but dispatch is silently swallowed — a wire event, not a
+      // delivery (mirroring the parked/redelivered accounting convention).
+      stats_.For(msg.payload->kind()).zombie_dropped++;
+      GlobalPerfCounters().zombie_dropped_msgs++;
+      return true;
+    }
+    stats_.For(msg.payload->kind()).delivered++;
+    // Join before the handler runs: messages the handler sends must carry
+    // the sender's post-join clock, or causality through a relay is lost.
+    BMX_HISTORY_HOOK(history_, OnDeliver(msg.src, msg.dst, msg.seq));
+    if (!Dispatch(handler, msg)) {
+      return false;
+    }
+    if (delivery_observer_) {
+      delivery_observer_(msg);
+    }
+    return true;
+  }
+
+  // Batch frame: decode and verify the wire image against the in-process
+  // entry list (the codec runs on every batched delivery, not just in its
+  // property tests), then dispatch each logical message in send order.
+  const auto& frame = static_cast<const BatchFramePayload&>(*msg.payload);
+  std::vector<BatchWireEntry> decoded;
+  std::string error;
+  BMX_CHECK(DecodeBatchFrame(frame.image.data(), frame.image.size(), &decoded, &error))
+      << "corrupt batch frame on channel " << key.first << "->" << key.second << ": " << error;
+  BMX_CHECK_EQ(decoded.size(), frame.entries.size());
+  stats_.For(MsgKind::kBatchFrame).delivered++;
+  stats_.batching.frames_delivered++;
+  for (size_t i = 0; i < frame.entries.size(); ++i) {
+    const BatchedMessage& e = frame.entries[i];
+    BMX_CHECK_EQ(decoded[i].kind, static_cast<uint8_t>(e.payload->kind()));
+    BMX_CHECK_EQ(decoded[i].body.size(), e.payload->WireSize());
+    Message inner = msg;
+    inner.seq = e.seq;
+    inner.payload = e.payload;
+    if (ZombieDrop(key, inner)) {
+      stats_.For(inner.payload->kind()).zombie_dropped++;
+      GlobalPerfCounters().zombie_dropped_msgs++;
+      continue;
+    }
+    stats_.For(inner.payload->kind()).delivered++;
+    BMX_HISTORY_HOOK(history_, OnDeliver(inner.src, inner.dst, inner.seq));
+    if (!Dispatch(handler, inner)) {
+      return false;  // crashed mid-frame: the rest died with the incarnation
+    }
+    if (delivery_observer_) {
+      delivery_observer_(inner);
+    }
+  }
+  return true;
 }
 
 void Network::AckReliable(Channel* channel, uint64_t rel_seq) {
@@ -663,8 +894,30 @@ Network::Channel* Network::PickDeliveryChannel(ChannelKey* key_out) {
 }
 
 bool Network::DeliverOne() {
+  if (!pending_batches_.empty()) {
+    // Deadline trigger: batches older than deadline_ticks flush before the
+    // next pick, bounding how long coalescing can delay a control message.
+    // The map is empty whenever batching is off — zero cost on that path.
+    FlushDueBatches();
+  }
   ChannelKey key;
   Channel* picked = PickDeliveryChannel(&key);
+  if (picked == nullptr && !pending_batches_.empty()) {
+    // Nothing on the wire but batches still pending: the event-driven clock
+    // jumps to the earliest deadline, exactly as PickDeliveryChannel does for
+    // latency-held copies.  Without this a synchronous waiter (acquire loops
+    // pump the network while idle) would starve behind its own batched
+    // request.
+    uint64_t earliest = UINT64_MAX;
+    for (const auto& [k, batch] : pending_batches_) {
+      earliest = std::min(earliest, batch.deadline);
+    }
+    if (now_ < earliest) {
+      now_ = earliest;
+    }
+    FlushDueBatches();
+    picked = PickDeliveryChannel(&key);
+  }
   if (picked == nullptr) {
     return false;
   }
@@ -752,41 +1005,16 @@ bool Network::DeliverOne() {
       channel.stashed.erase(channel.stashed.begin());
       channel.expected_rel_seq++;
     }
-    if (ZombieDrop(key, msg)) {
-      // Zombie link/peer: the transport completed above (acked, deduplicated,
-      // reassembled) but dispatch is silently swallowed — a wire event, not a
-      // delivery (mirroring the parked/redelivered accounting convention).
-      pk.zombie_dropped++;
-      GlobalPerfCounters().zombie_dropped_msgs++;
-    } else {
-      pk.delivered++;
-      // Join before the handler runs: messages the handler sends must carry
-      // the sender's post-join clock, or causality through a relay is lost.
-      BMX_HISTORY_HOOK(history_, OnDeliver(msg.src, msg.dst, msg.seq));
-      if (!Dispatch(handler->second, msg)) {
-        return true;  // destination crashed processing this delivery
-      }
-      if (delivery_observer_) {
-        delivery_observer_(msg);
-      }
+    if (!DispatchReliable(key, handler->second, msg)) {
+      return true;  // destination crashed processing this delivery
     }
     for (Message& released : ready) {
       auto h = handlers_.find(released.dst);
       if (h == handlers_.end()) {
         break;  // destination crashed mid-delivery; volatile state is gone
       }
-      if (ZombieDrop(key, released)) {
-        stats_.For(released.payload->kind()).zombie_dropped++;
-        GlobalPerfCounters().zombie_dropped_msgs++;
-        continue;
-      }
-      stats_.For(released.payload->kind()).delivered++;
-      BMX_HISTORY_HOOK(history_, OnDeliver(released.src, released.dst, released.seq));
-      if (!Dispatch(h->second, released)) {
+      if (!DispatchReliable(key, h->second, released)) {
         return true;  // crashed on a released successor; the rest die too
-      }
-      if (delivery_observer_) {
-        delivery_observer_(released);
       }
     }
     return true;
@@ -840,6 +1068,7 @@ bool Network::FireRetransmitTimers() {
       copy.ready_at = ReadyAt(key);
       channel.queue.push_back(std::move(copy));
       pending_++;
+      stats_.wire_messages++;
       fired = true;
     }
   }
@@ -848,7 +1077,11 @@ bool Network::FireRetransmitTimers() {
 
 bool Network::DrainUntilIdle(uint64_t budget, std::string* diagnostic) {
   for (;;) {
-    if (!DeliverOne() && !FireRetransmitTimers()) {
+    // Quiescence trigger: when nothing is deliverable and no timer is live,
+    // any payloads still coalescing flush and the drain continues — the
+    // network may only report idle with every batch on the wire or delivered.
+    if (!DeliverOne() && !FireRetransmitTimers() &&
+        (pending_batches_.empty() || FlushAllBatches() == 0)) {
       return true;
     }
     if (budget == 0) {
@@ -890,7 +1123,7 @@ bool Network::RunUntilIdleBounded(uint64_t max_steps, std::string* diagnostic) {
   return true;
 }
 
-bool Network::Idle() const { return pending_ == 0; }
+bool Network::Idle() const { return pending_ == 0 && pending_batched_ == 0; }
 
 size_t Network::PendingCount() const { return pending_; }
 
@@ -923,12 +1156,32 @@ size_t Network::ReachableUnackedCount() const {
 }
 
 size_t Network::DropParked(NodeId src, NodeId dst, MsgKind kind) {
+  size_t dropped = 0;
+  // Coalescing layer first: abandoned payloads may still be buffering, or
+  // already sealed inside parked frames.  Both must honor the drop, or the
+  // request would reach the destination's next incarnation anyway.
+  auto pb = pending_batches_.find({src, dst});
+  if (pb != pending_batches_.end()) {
+    auto& entries = pb->second.entries;
+    for (auto e = entries.begin(); e != entries.end();) {
+      if (e->payload->kind() == kind) {
+        pb->second.bytes -= e->payload->WireSize();
+        e = entries.erase(e);
+        pending_batched_--;
+        dropped++;
+      } else {
+        ++e;
+      }
+    }
+    if (entries.empty()) {
+      pending_batches_.erase(pb);
+    }
+  }
   auto it = channels_.find({src, dst});
   if (it == channels_.end()) {
-    return 0;
+    return dropped;
   }
   Channel& channel = it->second;
-  size_t dropped = 0;
   for (auto u = channel.unacked.begin(); u != channel.unacked.end();) {
     if (u->second.msg.payload->kind() == kind) {
       // Also remove any wire copies of this payload still awaiting delivery,
@@ -950,10 +1203,91 @@ size_t Network::DropParked(NodeId src, NodeId dst, MsgKind kind) {
       ++u;
     }
   }
+  // Unacked frames carrying payloads of this kind are rebuilt without them
+  // (image re-encoded); a frame left empty retires entirely.  Queued wire
+  // copies of the same rel_seq swap to the rebuilt payload so a later
+  // delivery or retransmission never resurrects the dropped messages.
+  for (auto u = channel.unacked.begin(); u != channel.unacked.end();) {
+    if (u->second.msg.payload->kind() != MsgKind::kBatchFrame) {
+      ++u;
+      continue;
+    }
+    const auto& frame = static_cast<const BatchFramePayload&>(*u->second.msg.payload);
+    size_t matches = 0;
+    for (const BatchedMessage& e : frame.entries) {
+      matches += e.payload->kind() == kind ? 1 : 0;
+    }
+    if (matches == 0) {
+      ++u;
+      continue;
+    }
+    dropped += matches;
+    std::shared_ptr<const Payload> replacement;
+    if (matches < frame.entries.size()) {
+      auto rebuilt = std::make_shared<BatchFramePayload>();
+      std::vector<BatchWireEntry> wire;
+      for (const BatchedMessage& e : frame.entries) {
+        if (e.payload->kind() == kind) {
+          continue;
+        }
+        BatchWireEntry w;
+        w.kind = static_cast<uint8_t>(e.payload->kind());
+        w.category = static_cast<uint8_t>(e.payload->category());
+        w.body.resize(e.payload->WireSize(), 0);
+        wire.push_back(std::move(w));
+        rebuilt->entries.push_back(e);
+      }
+      rebuilt->set_category(rebuilt->entries.front().payload->category());
+      rebuilt->image = EncodeBatchFrame(wire);
+      replacement = std::move(rebuilt);
+    }
+    uint64_t rel_seq = u->first;
+    for (auto q = channel.queue.begin(); q != channel.queue.end();) {
+      if (q->payload->reliable() && q->rel_seq == rel_seq &&
+          q->payload->kind() == MsgKind::kBatchFrame) {
+        if (replacement != nullptr) {
+          q->payload = replacement;
+          ++q;
+        } else {
+          pending_--;
+          q = channel.queue.erase(q);
+        }
+      } else {
+        ++q;
+      }
+    }
+    if (replacement != nullptr) {
+      u->second.msg.payload = std::move(replacement);
+      ++u;
+    } else {
+      u = channel.unacked.erase(u);
+    }
+  }
   return dropped;
 }
 
 void Network::DisconnectNode(NodeId node) {
+  if (!pending_batches_.empty()) {
+    // The crash catches coalescing buffers mid-flight: batches FROM the node
+    // die with its volatile state (they never reached the wire); batches TO
+    // it flush now, so the frames park in the senders' unacked buffers and
+    // replay to the next incarnation like any reliable payload.
+    std::vector<ChannelKey> to_node;
+    for (auto it = pending_batches_.begin(); it != pending_batches_.end();) {
+      if (it->first.first == node) {
+        pending_batched_ -= it->second.entries.size();
+        it = pending_batches_.erase(it);
+      } else {
+        if (it->first.second == node) {
+          to_node.push_back(it->first);
+        }
+        ++it;
+      }
+    }
+    for (const ChannelKey& key : to_node) {
+      FlushBatchFor(key, &stats_.batching.flush_quiesce);
+    }
+  }
   handlers_.erase(node);
   if (incarnation_.count(node) > 0) {
     // The life that stamped its epoch on in-flight copies is over; advancing

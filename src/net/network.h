@@ -50,6 +50,7 @@
 #include "src/common/retry.h"
 #include "src/common/rng.h"
 #include "src/common/types.h"
+#include "src/net/batch.h"
 #include "src/net/message.h"
 #include "src/net/scheduler.h"
 
@@ -125,8 +126,29 @@ struct NetworkStats {
     uint64_t wire_bytes = 0;
   };
 
+  // Coalescing-layer accounting (src/net/batch.h).  Frames appear in per_kind
+  // under kBatchFrame with wire-side numbers only (delivered, wire_bytes,
+  // retransmits, ...): logical sent/bytes stay zero for frames so every
+  // "logical traffic" query — TotalSent, TotalBytes, per-category sent —
+  // reports identical values with batching on or off.
+  struct Batching {
+    uint64_t frames_sent = 0;        // frames flushed onto the wire
+    uint64_t frames_delivered = 0;   // frames unpacked at a destination
+    uint64_t batched_payloads = 0;   // logical messages that rode in a frame
+    uint64_t flush_full = 0;         // entry- or byte-cap flushes
+    uint64_t flush_deadline = 0;     // age-bound flushes (deadline_ticks)
+    uint64_t flush_ordering = 0;     // non-batchable send forced the flush
+    uint64_t flush_quiesce = 0;      // drained at idle by RunUntilIdle
+  };
+
   std::array<PerKind, static_cast<size_t>(MsgKind::kMaxKind)> per_kind;
   std::array<PerCategory, kNumMsgCategories> per_category;
+  Batching batching;
+  // Wire copies enqueued on any channel: logical sends (or frames, when
+  // batching coalesces), duplicates, retransmissions and post-reconnect
+  // redeliveries.  The scale benchmarks report this as the message count a
+  // real wire would carry.
+  uint64_t wire_messages = 0;
 
   PerKind& For(MsgKind kind) { return per_kind[static_cast<size_t>(kind)]; }
   const PerKind& For(MsgKind kind) const { return per_kind[static_cast<size_t>(kind)]; }
@@ -340,6 +362,16 @@ class Network {
   // deferred at a live peer" from "my request is parked toward a dead one".
   bool NodeAttached(NodeId node) const { return handlers_.count(node) > 0; }
 
+  // --- Batched control-message transport (src/net/batch.h, §14). ---
+  // Installs the coalescing policy.  Disabled (the default) is the pinned
+  // baseline: every code path below is a single `enabled` branch away from
+  // the historical transport, and the fingerprint tests hold it bit-identical.
+  // Must be set before any batchable traffic is pending.
+  void set_batch_policy(const BatchPolicy& policy);
+  const BatchPolicy& batch_policy() const { return batch_policy_; }
+  // Logical messages currently coalescing (not yet flushed into a frame).
+  size_t PendingBatchedCount() const { return pending_batched_; }
+
   // Drops parked/unacked reliable payloads of one kind from the (src, dst)
   // channel, plus any queued wire copies of them.  Used when the sender
   // abandons a request addressed to a crashed node: without this, the request
@@ -404,6 +436,14 @@ class Network {
     Rng rel_loss_rng;
   };
 
+  // One per-channel coalescing buffer (batching enabled only); flushed into a
+  // BatchFramePayload by size, deadline, ordering or quiescence triggers.
+  struct PendingBatch {
+    std::vector<BatchedMessage> entries;
+    size_t bytes = 0;     // sum of entry payload wire sizes
+    uint64_t deadline = 0;  // flush no later than this virtual-clock tick
+  };
+
   void Enqueue(Channel* channel, Message msg);
   // Transport-level ack for a received reliable payload (subject to ack
   // loss).  Returns true if the sender's unacked entry was retired.
@@ -441,6 +481,29 @@ class Network {
   // Shared drain loop behind RunUntilIdle/RunUntilIdleBounded; false when the
   // step budget ran out (diagnostic filled if requested).
   bool DrainUntilIdle(uint64_t budget, std::string* diagnostic);
+
+  // --- Coalescing layer internals (all no-ops while batching is off). ---
+  // True when the payload may ride a batch frame under the current policy.
+  bool Batchable(const Payload& payload) const;
+  // Buffers one logical send into the channel's pending batch (logical stats
+  // and the history snapshot were already taken by Send); flushes on the
+  // size caps.
+  void AppendToBatch(NodeId src, NodeId dst, std::shared_ptr<const Payload> payload);
+  // Packs the channel's pending batch into one frame and transmits it through
+  // the shared wire path (dup draw, unacked entry, enqueue).
+  void FlushBatch(const ChannelKey& key, PendingBatch batch);
+  // Flushes the pending batch of one channel, if any (ordering trigger).
+  void FlushBatchFor(const ChannelKey& key, uint64_t* trigger_counter);
+  // Flushes every batch whose deadline has passed (start of DeliverOne).
+  void FlushDueBatches();
+  // Flushes everything pending; returns the number of frames emitted
+  // (quiescence trigger in DrainUntilIdle).
+  size_t FlushAllBatches();
+  // Hands one in-order reliable delivery to the destination: a batch frame is
+  // verified against its wire image and unpacked into per-logical-message
+  // dispatches; anything else dispatches as-is.  Returns false if the
+  // destination crashed mid-dispatch.
+  bool DispatchReliable(const ChannelKey& key, MessageHandler* handler, const Message& msg);
 
   uint64_t root_seed_;
   // One independent stream per random-decision family (satellite of the
@@ -482,6 +545,12 @@ class Network {
   std::set<ChannelKey> partitions_;  // stored as (min, max)
   NetworkStats stats_;
   size_t pending_ = 0;
+  // Coalescing layer (batching enabled only).  std::map for deterministic
+  // flush order; pending_batched_ mirrors the total entry count so Idle()
+  // and the liveness oracle see buffered-but-unflushed traffic.
+  BatchPolicy batch_policy_;
+  std::map<ChannelKey, PendingBatch> pending_batches_;
+  size_t pending_batched_ = 0;
 };
 
 }  // namespace bmx

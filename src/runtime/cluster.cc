@@ -4,8 +4,13 @@
 
 namespace bmx {
 
-Cluster::Cluster(const ClusterOptions& options) : options_(options), network_(options.seed) {
+Cluster::Cluster(const ClusterOptions& options)
+    : options_(options),
+      network_(options.seed),
+      topology_(Topology::Make(options.topology, options.num_nodes, options.topology_degree,
+                               options.seed)) {
   BMX_CHECK_GT(options.num_nodes, 0u);
+  network_.set_batch_policy(options.batch);
   network_.set_crash_listener([this](NodeId id) { CrashNode(id); });
   nodes_.reserve(options.num_nodes);
   for (NodeId id = 0; id < options.num_nodes; ++id) {

@@ -10,9 +10,11 @@
 #include "src/common/perf_counters.h"
 #include "src/common/types.h"
 #include "src/mem/directory.h"
+#include "src/net/batch.h"
 #include "src/net/network.h"
 #include "src/runtime/history.h"
 #include "src/runtime/node.h"
+#include "src/runtime/topology.h"
 #include "src/rvm/disk.h"
 
 namespace bmx {
@@ -22,6 +24,14 @@ struct ClusterOptions {
   CopySetMode copyset_mode = CopySetMode::kCentralized;
   CleanerMode cleaner_mode = CleanerMode::kImmediate;
   uint64_t seed = 1;
+  // Workload-sharing topology (src/runtime/topology.h).  The protocol stays
+  // any-to-any; scenario and soak drivers read cluster.topology() to decide
+  // which peers share objects.  kFull reproduces the historical behavior.
+  TopologyKind topology = TopologyKind::kFull;
+  size_t topology_degree = 4;  // random-regular only
+  // Batched control-message transport (src/net/batch.h); disabled by default
+  // — the unbatched wire is the pinned-fingerprint baseline.
+  BatchPolicy batch;
 };
 
 class Cluster {
@@ -36,6 +46,9 @@ class Cluster {
   Network& network() { return network_; }
   SegmentDirectory& directory() { return directory_; }
   Disk& disk() { return disk_; }
+  // The sharing structure this cluster was built with (who shares objects
+  // with whom); generated deterministically from the options at construction.
+  const Topology& topology() const { return topology_; }
 
   // Attaches a client-history recorder to the network (idempotent).  Call
   // before driving any traffic so vector clocks cover the whole run; the
@@ -88,6 +101,7 @@ class Cluster {
  private:
   ClusterOptions options_;
   Network network_;
+  Topology topology_;
   SegmentDirectory directory_;
   Disk disk_;
   // Declared after network_: the network holds a raw pointer but never

@@ -1,6 +1,7 @@
 #include "src/runtime/scenarios.h"
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/common/rng.h"
@@ -111,6 +112,115 @@ void RunFig4(Cluster& c) {
   c.Pump();
 }
 
+// --- N-node generalizations of the four shapes (ScaledScenarios) ---
+
+// Fig. 1 at N nodes: every node owns one bunch with one object; the chain
+// o_0 → o_1 → ... → o_{N-1} crosses a bunch boundary at every link, so each
+// edge needs a scion/SSP to survive the per-bunch collections.  The head's
+// write token then migrates (node 1 acquires and roots it) before every bunch
+// is collected in turn — nothing may be reclaimed.
+void RunFig1Scaled(Cluster& c) {
+  size_t n = c.size();
+  std::vector<std::unique_ptr<Mutator>> muts;
+  std::vector<BunchId> bunches;
+  std::vector<Gaddr> objs;
+  for (NodeId id = 0; id < n; ++id) {
+    muts.push_back(std::make_unique<Mutator>(&c.node(id)));
+    bunches.push_back(c.CreateBunch(id));
+    objs.push_back(muts.back()->Alloc(bunches.back(), 2));
+  }
+  muts[n - 1]->AddRoot(objs[n - 1]);
+  for (size_t i = 0; i + 1 < n; ++i) {
+    muts[i]->WriteRef(objs[i], 0, objs[i + 1]);
+  }
+  c.Pump();
+  if (muts[1 % n]->AcquireWrite(objs[0])) {
+    muts[1 % n]->Release(objs[0]);
+    muts[1 % n]->AddRoot(objs[0]);
+  }
+  c.Pump();
+  for (NodeId id = 0; id < n; ++id) {
+    c.node(id).gc().CollectBunch(bunches[id]);
+    c.Pump();
+  }
+}
+
+// Fig. 2 at N nodes: one object's write token walks the whole ring once,
+// every incarnation writing a round stamp through it.
+void RunFig2Scaled(Cluster& c) {
+  size_t n = c.size();
+  std::vector<std::unique_ptr<Mutator>> muts;
+  for (NodeId id = 0; id < n; ++id) {
+    muts.push_back(std::make_unique<Mutator>(&c.node(id)));
+  }
+  BunchId b = c.CreateBunch(0);
+  Gaddr obj = muts[0]->Alloc(b, 2);
+  muts[0]->AddRoot(obj);
+  c.Pump();
+  for (uint64_t round = 1; round <= n; ++round) {
+    Mutator& m = *muts[round % n];
+    if (m.AcquireWrite(obj)) {
+      m.WriteWord(obj, 1, round);
+      m.Release(obj);
+    }
+    c.Pump();
+  }
+}
+
+// Fig. 3 at N nodes: N-1 readers replicate the object, then the owner's write
+// upgrade fans invalidations out to all of them and the acks race back.
+void RunFig3Scaled(Cluster& c) {
+  size_t n = c.size();
+  std::vector<std::unique_ptr<Mutator>> muts;
+  for (NodeId id = 0; id < n; ++id) {
+    muts.push_back(std::make_unique<Mutator>(&c.node(id)));
+  }
+  BunchId b = c.CreateBunch(0);
+  Gaddr a = muts[0]->Alloc(b, 1);
+  muts[0]->AddRoot(a);
+  c.Pump();
+  for (NodeId id = 1; id < n; ++id) {
+    if (muts[id]->AcquireRead(a)) {
+      muts[id]->Release(a);
+    }
+  }
+  c.Pump();
+  if (muts[0]->AcquireWrite(a)) {
+    muts[0]->WriteWord(a, 0, 7);
+    muts[0]->Release(a);
+  }
+  c.Pump();
+}
+
+// Fig. 4 at N nodes: the head of a two-object chain is replicated on every
+// non-owner before the owner unlinks the tail and collects — reclamation must
+// not race any of the N-1 replica invalidations.
+void RunFig4Scaled(Cluster& c) {
+  size_t n = c.size();
+  std::vector<std::unique_ptr<Mutator>> muts;
+  for (NodeId id = 0; id < n; ++id) {
+    muts.push_back(std::make_unique<Mutator>(&c.node(id)));
+  }
+  BunchId b = c.CreateBunch(0);
+  Gaddr head = muts[0]->Alloc(b, 2);
+  muts[0]->AddRoot(head);
+  Gaddr tail = muts[0]->Alloc(b, 2);
+  muts[0]->WriteRef(head, 0, tail);
+  c.Pump();
+  for (NodeId id = 1; id < n; ++id) {
+    if (muts[id]->AcquireRead(head)) {
+      muts[id]->Release(head);
+    }
+  }
+  c.Pump();
+  if (muts[0]->AcquireWrite(head)) {
+    muts[0]->WriteRef(head, 0, kNullAddr);
+    muts[0]->Release(head);
+  }
+  c.node(0).gc().CollectBunch(b);
+  c.Pump();
+}
+
 }  // namespace
 
 std::vector<ExplorerScenario> StandardScenarios() {
@@ -119,6 +229,20 @@ std::vector<ExplorerScenario> StandardScenarios() {
       {"fig2-token-migration", ThreeNodes, RunFig2},
       {"fig3-invalidate-fanout", ThreeNodes, RunFig3},
       {"fig4-reclaim-churn", ThreeNodes, RunFig4},
+  };
+}
+
+std::vector<ExplorerScenario> ScaledScenarios(size_t num_nodes, const BatchPolicy& batch) {
+  auto make = [num_nodes, batch](uint64_t root_seed) {
+    return std::make_unique<Cluster>(ClusterOptions{
+        .num_nodes = num_nodes, .seed = root_seed, .batch = batch});
+  };
+  std::string suffix = "@" + std::to_string(num_nodes);
+  return {
+      {"fig1-ssp-chain" + suffix, make, RunFig1Scaled},
+      {"fig2-token-migration" + suffix, make, RunFig2Scaled},
+      {"fig3-invalidate-fanout" + suffix, make, RunFig3Scaled},
+      {"fig4-reclaim-churn" + suffix, make, RunFig4Scaled},
   };
 }
 

@@ -21,6 +21,18 @@ namespace bmx {
 //   fig4-reclaim-churn      — allocation, unlinking and bunch collection
 std::vector<ExplorerScenario> StandardScenarios();
 
+// The same four shapes generalized to N-node clusters (N >= 2), named with an
+// "@N" suffix (e.g. "fig3-invalidate-fanout@16"): fig1 becomes an N-bunch
+// inter-bunch chain with the head's token migrating, fig2 walks the write
+// token around all N nodes, fig3 fans invalidations out to N-1 replicas, and
+// fig4 replicates the head on every non-owner before the unlink-and-collect.
+// At N == 3 these drive the same protocol paths as StandardScenarios (which
+// stays byte-pinned by the fingerprint tests and is left untouched).  `batch`
+// configures the cluster's transport coalescing — default off, the pinned
+// baseline.
+std::vector<ExplorerScenario> ScaledScenarios(size_t num_nodes,
+                                              const BatchPolicy& batch = {});
+
 // The planted-ordering-bug workload (see
 // DsmNode::PlantCanaryReorderBugForTesting): fig3's invalidation fan-out with
 // the canary armed at the writer.  Under FIFO the acks converge in increasing

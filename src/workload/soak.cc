@@ -1,0 +1,134 @@
+#include "src/workload/soak.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/runtime/cluster.h"
+#include "src/runtime/mutator.h"
+#include "src/workload/graph_builder.h"
+
+namespace bmx {
+
+ExplorerScenario SoakScenario(const SoakOptions& options) {
+  ExplorerScenario scenario;
+  scenario.name = std::string("soak-") + TopologyKindName(options.topology) + "@" +
+                  std::to_string(options.num_nodes);
+  SoakOptions opts = options;
+  scenario.make = [opts](uint64_t root_seed) {
+    return std::make_unique<Cluster>(
+        ClusterOptions{.num_nodes = static_cast<uint32_t>(opts.num_nodes),
+                       .seed = root_seed,
+                       .topology = opts.topology,
+                       .topology_degree = opts.topology_degree,
+                       .batch = opts.batch});
+  };
+  scenario.run = [opts](Cluster& c) {
+    Rng rng(DeriveStreamSeed(c.seed(), RngStream::kSoak));
+    const Topology& topo = c.topology();
+    size_t n = c.size();
+    std::vector<std::unique_ptr<Mutator>> mutators;
+    std::vector<std::unique_ptr<GraphBuilder>> builders;
+    std::vector<BunchId> bunches;
+    for (NodeId id = 0; id < n; ++id) {
+      mutators.push_back(std::make_unique<Mutator>(&c.node(id)));
+      builders.push_back(std::make_unique<GraphBuilder>(&c, mutators.back().get()));
+      bunches.push_back(c.CreateBunch(id));
+    }
+    // Each node's population is a GraphBuilder list in its own bunch: slot 0
+    // is the spine, slot 1 the contended word, slot 2 a scratch reference.
+    // objs[owner][j] walks the list head-first.
+    std::vector<std::vector<Gaddr>> objs(n);
+    for (NodeId id = 0; id < n; ++id) {
+      Gaddr cur = builders[id]->BuildList(bunches[id], opts.objects_per_node, 3);
+      mutators[id]->AddRoot(cur);
+      while (cur != kNullAddr) {
+        objs[id].push_back(cur);
+        cur = mutators[id]->ReadRef(cur, 0);
+      }
+    }
+    c.Pump();
+
+    for (size_t i = 0; i < opts.ops; ++i) {
+      // The whole step — actor, target, mode, access plan — is drawn before
+      // touching the cluster, so the rng stream advances identically under
+      // every delivery schedule.
+      NodeId actor = static_cast<NodeId>(rng.Below(n));
+      if (rng.Chance(opts.gc_chance)) {
+        c.node(actor).gc().CollectBunch(bunches[actor]);
+        c.Pump();
+        continue;
+      }
+      if (rng.Chance(opts.reclaim_chance)) {
+        c.node(actor).gc().ReclaimFromSpaces(bunches[actor]);
+        c.Pump();
+        continue;
+      }
+      // Sharing follows the topology: half the sections stay home, half
+      // visit a neighbor's population.
+      NodeId owner = rng.Chance(0.5) ? actor : topo.NeighborOf(actor, rng.Next());
+      size_t j = rng.Below(opts.objects_per_node);
+      bool write_mode = rng.Chance(opts.write_fraction);
+      struct PlannedAccess {
+        bool is_ref;
+        uint32_t slot;
+        uint64_t word;
+        NodeId ref_owner;
+        size_t ref_index;
+      };
+      std::vector<PlannedAccess> plan;
+      do {
+        PlannedAccess a{};
+        if (write_mode) {
+          a.is_ref = rng.Chance(opts.cross_ref_chance);
+          a.slot = a.is_ref ? 2u : 1u;
+          a.word = rng.Below(1000);
+          // Cross-bunch edge: point the scratch slot at a neighbor-of-the-
+          // owner's object, the inter-bunch reference that creates scions.
+          a.ref_owner = topo.NeighborOf(owner, rng.Next());
+          a.ref_index = rng.Below(opts.objects_per_node);
+        } else {
+          // Reads respect the slot typing: the spine (0) and scratch (2)
+          // slots hold references, the contended slot (1) holds a word — a
+          // ReadWord of a ref slot would record a mismatched access class.
+          a.is_ref = rng.Chance(0.4);
+          a.slot = a.is_ref ? (rng.Chance(0.5) ? 0u : 2u) : 1u;
+        }
+        plan.push_back(a);
+      } while (rng.Chance(opts.extra_op_chance));
+      if (c.node(actor).dsm().AcquireInFlight()) {
+        continue;  // an earlier denied acquire is still parked on this node
+      }
+      Gaddr target = objs[owner][j];
+      Mutator& m = *mutators[actor];
+      bool ok = write_mode ? m.AcquireWrite(target) : m.AcquireRead(target);
+      if (!ok) {
+        continue;
+      }
+      for (const PlannedAccess& a : plan) {
+        if (write_mode) {
+          if (a.is_ref) {
+            m.WriteRef(target, a.slot, objs[a.ref_owner][a.ref_index]);
+          } else {
+            m.WriteWord(target, a.slot, a.word);
+          }
+        } else {
+          if (a.is_ref) {
+            (void)m.ReadRef(target, a.slot);
+          } else {
+            (void)m.ReadWord(target, a.slot);
+          }
+        }
+      }
+      m.Release(target);
+      if (opts.pump_interval > 0 && (i + 1) % opts.pump_interval == 0) {
+        c.Pump();
+      }
+    }
+    c.Pump();
+  };
+  return scenario;
+}
+
+}  // namespace bmx

@@ -1,0 +1,54 @@
+// Scale-out soak/stress workload: a long randomized multi-node GraphBuilder
+// workload over a parameterized topology, packaged as an ExplorerScenario so
+// the schedule explorer can run it with all three oracles (invariant,
+// consistency, liveness) at N-node scale.
+//
+// Sharing follows the cluster topology: every node owns one bunch with a
+// GraphBuilder-built object population, and its critical sections touch its
+// own and its topology-neighbors' objects — reads replicate neighbor objects
+// (growing copy-sets), writes invalidate them (fan-out), reference writes
+// create cross-bunch edges (scions), and periodic collections and from-space
+// reclaims keep background GC traffic flowing through all of it.  The op
+// sequence is a pure function of (options, cluster seed), independent of the
+// delivery schedule: plans are drawn before any cluster interaction, so a
+// denied acquire skips only the accesses, never a draw.
+
+#ifndef SRC_WORKLOAD_SOAK_H_
+#define SRC_WORKLOAD_SOAK_H_
+
+#include "src/net/batch.h"
+#include "src/runtime/explorer.h"
+#include "src/runtime/topology.h"
+
+namespace bmx {
+
+struct SoakOptions {
+  size_t num_nodes = 16;
+  TopologyKind topology = TopologyKind::kRandomRegular;
+  size_t topology_degree = 4;
+  // Per-node object population (each node's bunch holds a GraphBuilder list
+  // of this many 3-slot objects: next-pointer spine, contended word, scratch
+  // reference slot).
+  size_t objects_per_node = 3;
+  // Mutator operations attempted across the cluster.  CI soak runs use tens
+  // of thousands; the bounded tier-1 smoke uses a few hundred.
+  size_t ops = 4000;
+  double write_fraction = 0.4;    // P(critical section is a write section)
+  double extra_op_chance = 0.3;   // P(another access inside the section)
+  double cross_ref_chance = 0.2;  // P(a write plants a cross-bunch reference)
+  double gc_chance = 0.04;        // P(op is a bunch collection instead)
+  double reclaim_chance = 0.02;   // P(op is a from-space reclaim instead)
+  // Drain the network every this many ops (0 = only at section boundaries
+  // forced by the protocol and once at the end).
+  size_t pump_interval = 64;
+  // Transport coalescing for the soak cluster (off = pinned baseline).
+  BatchPolicy batch;
+};
+
+// Scenario name: "soak" (suffixed with the topology and node count, e.g.
+// "soak-random-regular@16", so sweep output distinguishes configurations).
+ExplorerScenario SoakScenario(const SoakOptions& options = {});
+
+}  // namespace bmx
+
+#endif  // SRC_WORKLOAD_SOAK_H_

@@ -37,9 +37,16 @@ constexpr size_t kSweepNodes = 3;
 void RunWorkload(Cluster& cluster) {
   BunchId b0 = cluster.CreateBunch(0);
   BunchId b1 = cluster.CreateBunch(1);
-  Mutator m0(&cluster.node(0));
-  Mutator m1(&cluster.node(1));
-  Mutator m2(&cluster.node(2));
+  // The three-actor core drives every fault site; nodes 3..N-1 (when the
+  // sweep runs at scale) join as extra replicas below, widening the fan-outs
+  // the sites fire under without changing which sites are reachable.
+  std::vector<std::unique_ptr<Mutator>> muts;
+  for (NodeId id = 0; id < cluster.size(); ++id) {
+    muts.push_back(std::make_unique<Mutator>(&cluster.node(id)));
+  }
+  Mutator& m0 = *muts[0];
+  Mutator& m1 = *muts[1];
+  Mutator& m2 = *muts[2];
 
   // Allocation + local writes (gc.alloc.post_register).
   Gaddr a = m0.Alloc(b0, 2);
@@ -85,6 +92,18 @@ void RunWorkload(Cluster& cluster) {
     if (m2.AcquireWrite(b)) {
       m2.WriteWord(b, 0, 7);
       m2.Release(b);
+    }
+  }
+  cluster.Pump();
+
+  // Scale phase: every additional node replicates `a`, so the owner's
+  // copy-set — and the address-change/push fan-outs the reclaim rounds below
+  // owe it — covers the whole cluster, not just the three core actors.
+  for (NodeId id = 3; id < cluster.size(); ++id) {
+    if (can_acquire(id) && cluster.IsAlive(2)) {
+      if (muts[id]->AcquireRead(a)) {
+        muts[id]->Release(a);
+      }
     }
   }
   cluster.Pump();
@@ -161,10 +180,11 @@ void RunWorkload(Cluster& cluster) {
 // hit, convert the signal into a cluster crash wherever it surfaces, recover
 // every dead node, and audit the result.  Returns false if the schedule
 // never fired (site not reached by this node — nothing to test).
-bool RunOneCrash(const std::string& site, NodeId node, uint64_t kth_hit) {
+bool RunOneCrash(const std::string& site, NodeId node, uint64_t kth_hit,
+                 size_t num_nodes = kSweepNodes) {
   FaultInjector::Global().Reset();
   FaultInjector::Global().Arm(site, node, kth_hit);
-  Cluster cluster({.num_nodes = kSweepNodes});
+  Cluster cluster({.num_nodes = num_nodes});
   bool crashed = false;
   try {
     RunWorkload(cluster);
@@ -178,7 +198,7 @@ bool RunOneCrash(const std::string& site, NodeId node, uint64_t kth_hit) {
   cluster.Pump();
   FaultInjector::Global().Reset();  // recovery itself must not re-crash
 
-  for (NodeId id = 0; id < kSweepNodes; ++id) {
+  for (NodeId id = 0; id < num_nodes; ++id) {
     if (!cluster.IsAlive(id)) {
       crashed = true;
       cluster.RestartNode(id).recovery().RunRecovery();
@@ -235,6 +255,49 @@ TEST(CrashPointSweep, EverySiteEveryNode) {
   // that silently stops reaching sites).
   EXPECT_GE(fired, FaultInjector::AllSites().size());
 }
+
+// The sweep at cluster scale: the same workload (whose replica phase now
+// spans every node) with crashes injected at N ∈ {4, 8, 16}.  Each scale
+// runs the no-fault baseline plus a seeded random slice of the (site, node,
+// k-th hit) space — the full cross product stays the 3-node suite above.
+class CrashPointSweepScale : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(CrashPointSweepScale, NoFaultBaselinePassesOracle) {
+  size_t n = GetParam();
+  FaultInjector::Global().Reset();
+  Cluster cluster({.num_nodes = n});
+  RunWorkload(cluster);
+  InvariantOracle oracle(&cluster);
+  for (const std::string& v : oracle.Check()) {
+    ADD_FAILURE() << "n=" << n << ": " << v;
+  }
+}
+
+TEST_P(CrashPointSweepScale, RandomizedCrashSchedules) {
+  size_t n = GetParam();
+  uint64_t seed = 20260808 + n;
+  if (const char* env = std::getenv("BMX_FAULT_SEED")) {
+    seed = std::strtoull(env, nullptr, 10);
+  }
+  std::cout << "[fault-sweep] n=" << n << " seed=" << seed
+            << " (reproduce with BMX_FAULT_SEED=" << seed << ")\n";
+  Rng rng(seed);
+  const auto& sites = FaultInjector::AllSites();
+  for (int round = 0; round < 6; ++round) {
+    const char* site = sites[rng.Below(sites.size())];
+    NodeId node = static_cast<NodeId>(rng.Below(n));
+    uint64_t kth = 1 + rng.Below(3);
+    SCOPED_TRACE(std::string("n ") + std::to_string(n) + " seed " + std::to_string(seed) +
+                 " round " + std::to_string(round) + ": " + site + "@" + std::to_string(node) +
+                 " hit " + std::to_string(kth));
+    RunOneCrash(site, node, kth, n);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scale, CrashPointSweepScale, ::testing::Values(4, 8, 16),
+                         [](const ::testing::TestParamInfo<size_t>& info) {
+                           return "n" + std::to_string(info.param);
+                         });
 
 TEST(CrashPointSweep, RandomizedSchedules) {
   uint64_t seed = 20260806;

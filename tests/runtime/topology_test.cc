@@ -1,0 +1,98 @@
+// Unit tests for the N-node topology generators (src/runtime/topology.h):
+// shape of each kind, connectivity, determinism from the seed, and the
+// parsing/naming round trip the CLI knobs rely on.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "src/runtime/topology.h"
+
+namespace bmx {
+namespace {
+
+TEST(Topology, FullIsEveryPair) {
+  Topology t = Topology::Make(TopologyKind::kFull, 5);
+  EXPECT_EQ(t.EdgeCount(), 10u);
+  EXPECT_TRUE(t.Connected());
+  for (NodeId a = 0; a < 5; ++a) {
+    EXPECT_EQ(t.NeighborsOf(a).size(), 4u);
+    for (NodeId b : t.NeighborsOf(a)) {
+      EXPECT_NE(a, b);
+    }
+  }
+}
+
+TEST(Topology, RingIsACycle) {
+  for (size_t n : {2u, 3u, 16u, 64u}) {
+    Topology t = Topology::Make(TopologyKind::kRing, n);
+    EXPECT_TRUE(t.Connected()) << n;
+    EXPECT_EQ(t.EdgeCount(), n == 2 ? 1u : n) << n;
+    for (NodeId a = 0; a < n; ++a) {
+      size_t expect = (n <= 3) ? n - 1 : 2;
+      EXPECT_EQ(t.NeighborsOf(a).size(), expect) << "n=" << n << " node=" << a;
+    }
+  }
+}
+
+TEST(Topology, StarRoutesThroughHub) {
+  Topology t = Topology::Make(TopologyKind::kStar, 9);
+  EXPECT_TRUE(t.Connected());
+  EXPECT_EQ(t.EdgeCount(), 8u);
+  EXPECT_EQ(t.NeighborsOf(0).size(), 8u);
+  for (NodeId spoke = 1; spoke < 9; ++spoke) {
+    ASSERT_EQ(t.NeighborsOf(spoke).size(), 1u);
+    EXPECT_EQ(t.NeighborsOf(spoke)[0], 0u);
+  }
+}
+
+TEST(Topology, RandomRegularIsConnectedRegularAndSeedDeterministic) {
+  for (size_t n : {8u, 16u, 64u}) {
+    Topology t = Topology::Make(TopologyKind::kRandomRegular, n, 4, 11);
+    EXPECT_TRUE(t.Connected()) << n;
+    for (NodeId a = 0; a < n; ++a) {
+      // Circulant construction: every node has the same degree.
+      EXPECT_EQ(t.NeighborsOf(a).size(), t.NeighborsOf(0).size()) << "n=" << n;
+      EXPECT_GE(t.NeighborsOf(a).size(), 2u);
+      // Symmetry: a is listed by each of its neighbors.
+      for (NodeId b : t.NeighborsOf(a)) {
+        const auto& back = t.NeighborsOf(b);
+        EXPECT_TRUE(std::find(back.begin(), back.end(), a) != back.end());
+      }
+    }
+    Topology same = Topology::Make(TopologyKind::kRandomRegular, n, 4, 11);
+    EXPECT_EQ(t.adjacency, same.adjacency) << n;
+  }
+  // Different seeds give different graphs (at a size with room to differ).
+  Topology a = Topology::Make(TopologyKind::kRandomRegular, 32, 6, 1);
+  Topology b = Topology::Make(TopologyKind::kRandomRegular, 32, 6, 2);
+  EXPECT_NE(a.adjacency, b.adjacency);
+}
+
+TEST(Topology, NeighborOfReturnsANeighbor) {
+  Topology t = Topology::Make(TopologyKind::kRandomRegular, 16, 4, 3);
+  for (NodeId a = 0; a < 16; ++a) {
+    for (uint64_t salt = 0; salt < 8; ++salt) {
+      NodeId b = t.NeighborOf(a, salt);
+      const auto& nbrs = t.NeighborsOf(a);
+      EXPECT_TRUE(std::find(nbrs.begin(), nbrs.end(), b) != nbrs.end());
+    }
+  }
+  Topology solo = Topology::Make(TopologyKind::kFull, 1);
+  EXPECT_EQ(solo.NeighborOf(0, 7), 0u);
+}
+
+TEST(Topology, ParseAndNameRoundTrip) {
+  for (TopologyKind kind : {TopologyKind::kFull, TopologyKind::kRing, TopologyKind::kStar,
+                            TopologyKind::kRandomRegular}) {
+    TopologyKind parsed;
+    ASSERT_TRUE(ParseTopologyKind(TopologyKindName(kind), &parsed));
+    EXPECT_EQ(parsed, kind);
+  }
+  TopologyKind unused;
+  EXPECT_FALSE(ParseTopologyKind("torus", &unused));
+}
+
+}  // namespace
+}  // namespace bmx

@@ -10,6 +10,10 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string>
+#include <vector>
+
 #include "src/runtime/cluster.h"
 #include "src/runtime/mutator.h"
 
@@ -107,6 +111,55 @@ TEST_F(Fig1, O3SurvivesAtN2WithoutAnyMutatorRoot) {
   cluster_->node(2).gc().CollectBunch(b2_);
   EXPECT_EQ(cluster_->node(2).gc().stats().objects_reclaimed, 0u);
 }
+
+// The figure generalized to N nodes: an inter-bunch chain o_0 → ... →
+// o_{N-1} with one bunch per node, every link crossing a bunch boundary, and
+// the head's write token migrated away from the chain's only interior root.
+// The figure's claim must hold at every scale: per-bunch collections reclaim
+// nothing, and every link keeps its stub/scion pair.
+class Fig1Scale : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(Fig1Scale, InterBunchChainSurvivesPerBunchCollections) {
+  size_t n = GetParam();
+  Cluster cluster({.num_nodes = n});
+  std::vector<std::unique_ptr<Mutator>> muts;
+  std::vector<BunchId> bunches;
+  std::vector<Gaddr> objs;
+  for (NodeId id = 0; id < n; ++id) {
+    muts.push_back(std::make_unique<Mutator>(&cluster.node(id)));
+    bunches.push_back(cluster.CreateBunch(id));
+    objs.push_back(muts[id]->Alloc(bunches[id], 2));
+  }
+  muts[n - 1]->AddRoot(objs[n - 1]);
+  for (size_t i = 0; i + 1 < n; ++i) {
+    muts[i]->WriteRef(objs[i], 0, objs[i + 1]);
+  }
+  cluster.Pump();
+  // As in the figure, the head's token moves (here: to node 1) and the new
+  // owner holds the only root for the head of the chain.
+  ASSERT_TRUE(muts[1]->AcquireWrite(objs[0]));
+  muts[1]->Release(objs[0]);
+  muts[1]->AddRoot(objs[0]);
+  cluster.Pump();
+  for (NodeId id = 0; id < n; ++id) {
+    cluster.node(id).gc().CollectBunch(bunches[id]);
+    cluster.Pump();
+    EXPECT_EQ(cluster.node(id).gc().stats().objects_reclaimed, 0u) << "node " << id;
+  }
+  // Every link left exactly one inter-bunch stub at its creator and one
+  // scion at its target bunch.
+  for (size_t i = 0; i + 1 < n; ++i) {
+    EXPECT_EQ(cluster.node(i).gc().TablesOf(bunches[i]).inter_stubs.size(), 1u)
+        << "link " << i;
+    EXPECT_EQ(cluster.node(i + 1).gc().TablesOf(bunches[i + 1]).inter_scions.size(), 1u)
+        << "link " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scale, Fig1Scale, ::testing::Values(4, 8, 16),
+                         [](const ::testing::TestParamInfo<size_t>& info) {
+                           return "n" + std::to_string(info.param);
+                         });
 
 TEST_F(Fig1, ChainCollapsesOnceN1DropsO3) {
   // Remove the only mutator reference to O3 (at N1) and run the cascade:

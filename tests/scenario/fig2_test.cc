@@ -8,6 +8,10 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string>
+#include <vector>
+
 #include "src/runtime/cluster.h"
 #include "src/runtime/mutator.h"
 
@@ -110,6 +114,47 @@ TEST_F(Fig2, Section45ReclaimFreesTheFromSpace) {
   ASSERT_TRUE(cluster_->node(1).store().HasObjectAt(o1_now));
   EXPECT_EQ(n1_->ReadWord(o2_, 1), 22u);
 }
+
+// The figure's underlying mechanism — one write token migrating node to node,
+// each incarnation writing through it — generalized to an N-node walk.  At
+// every scale the final owner is unique, holds the last round's value, and
+// every previous incarnation's token is gone.
+class Fig2Scale : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(Fig2Scale, TokenWalksAllNodesAndEndsUnique) {
+  size_t n = GetParam();
+  Cluster cluster({.num_nodes = n});
+  std::vector<std::unique_ptr<Mutator>> muts;
+  for (NodeId id = 0; id < n; ++id) {
+    muts.push_back(std::make_unique<Mutator>(&cluster.node(id)));
+  }
+  BunchId b = cluster.CreateBunch(0);
+  Gaddr obj = muts[0]->Alloc(b, 2);
+  muts[0]->AddRoot(obj);
+  cluster.Pump();
+  for (uint64_t round = 1; round <= n; ++round) {
+    Mutator& m = *muts[round % n];
+    ASSERT_TRUE(m.AcquireWrite(obj)) << "round " << round;
+    m.WriteWord(obj, 1, round);
+    m.Release(obj);
+    cluster.Pump();
+  }
+  // Round N wrapped back to node 0: it owns the token and sees the last
+  // stamp; every other node's write token is gone.
+  Oid oid = cluster.node(0).store().HeaderOf(cluster.node(0).dsm().ResolveAddr(obj))->oid;
+  EXPECT_TRUE(cluster.node(0).dsm().IsLocallyOwned(oid));
+  ASSERT_TRUE(muts[0]->AcquireRead(obj));
+  EXPECT_EQ(muts[0]->ReadWord(obj, 1), n);
+  muts[0]->Release(obj);
+  for (NodeId id = 1; id < n; ++id) {
+    EXPECT_FALSE(cluster.node(id).dsm().IsLocallyOwned(oid)) << "node " << id;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scale, Fig2Scale, ::testing::Values(4, 8, 16),
+                         [](const ::testing::TestParamInfo<size_t>& info) {
+                           return "n" + std::to_string(info.param);
+                         });
 
 }  // namespace
 }  // namespace bmx

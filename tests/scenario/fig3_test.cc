@@ -12,6 +12,10 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string>
+#include <vector>
+
 #include "src/runtime/cluster.h"
 #include "src/runtime/mutator.h"
 
@@ -152,6 +156,48 @@ TEST_F(Fig3, NoIntraSspWhenOldOwnerHoldsNoStubs) {
   EXPECT_TRUE(cluster_->node(0).gc().TablesOf(b_).intra_scions.empty());
   EXPECT_TRUE(cluster_->node(1).gc().TablesOf(b_).intra_stubs.empty());
 }
+
+// Invalidation fan-out generalized to N nodes: N-1 readers replicate the
+// object, the owner's write upgrade revokes every replica, and every reader's
+// next acquire re-faults the new value.
+class Fig3Scale : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(Fig3Scale, WriteUpgradeInvalidatesAllReplicas) {
+  size_t n = GetParam();
+  Cluster cluster({.num_nodes = n});
+  std::vector<std::unique_ptr<Mutator>> muts;
+  for (NodeId id = 0; id < n; ++id) {
+    muts.push_back(std::make_unique<Mutator>(&cluster.node(id)));
+  }
+  BunchId b = cluster.CreateBunch(0);
+  Gaddr a = muts[0]->Alloc(b, 1);
+  muts[0]->AddRoot(a);
+  muts[0]->WriteWord(a, 0, 1);
+  cluster.Pump();
+  for (NodeId id = 1; id < n; ++id) {
+    ASSERT_TRUE(muts[id]->AcquireRead(a)) << "node " << id;
+    EXPECT_EQ(muts[id]->ReadWord(a, 0), 1u);
+    muts[id]->Release(a);
+  }
+  cluster.Pump();
+  ASSERT_TRUE(muts[0]->AcquireWrite(a));
+  muts[0]->WriteWord(a, 0, 7);
+  muts[0]->Release(a);
+  cluster.Pump();
+  // Every one of the N-1 replicas was invalidated, and every reader observes
+  // the new value on its next (re-faulting) acquire.
+  for (NodeId id = 1; id < n; ++id) {
+    EXPECT_EQ(cluster.node(id).dsm().stats().read_copies_invalidated, 1u) << "node " << id;
+    ASSERT_TRUE(muts[id]->AcquireRead(a)) << "node " << id;
+    EXPECT_EQ(muts[id]->ReadWord(a, 0), 7u);
+    muts[id]->Release(a);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scale, Fig3Scale, ::testing::Values(4, 8, 16),
+                         [](const ::testing::TestParamInfo<size_t>& info) {
+                           return "n" + std::to_string(info.param);
+                         });
 
 }  // namespace
 }  // namespace bmx

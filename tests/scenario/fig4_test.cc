@@ -10,6 +10,10 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string>
+#include <vector>
+
 #include "src/runtime/cluster.h"
 #include "src/runtime/mutator.h"
 
@@ -123,6 +127,55 @@ TEST_F(Fig4, FullDeletionCascade) {
   EXPECT_GE(cluster_->node(2).gc().stats().objects_reclaimed, 1u);
   EXPECT_TRUE(cluster_->node(2).gc().TablesOf(b_).inter_stubs.empty());
 }
+
+// Reclaim-vs-replica generalized to N nodes: the head of a two-object chain
+// is replicated on every non-owner, the owner unlinks the tail and collects.
+// The unlinked tail is reclaimed while every replica of the head survives
+// untouched — the owner's BGC must not interfere with any of the N-1 read
+// tokens.
+class Fig4Scale : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(Fig4Scale, ReclaimDoesNotDisturbAnyReplica) {
+  size_t n = GetParam();
+  Cluster cluster({.num_nodes = n});
+  std::vector<std::unique_ptr<Mutator>> muts;
+  for (NodeId id = 0; id < n; ++id) {
+    muts.push_back(std::make_unique<Mutator>(&cluster.node(id)));
+  }
+  BunchId b = cluster.CreateBunch(0);
+  Gaddr head = muts[0]->Alloc(b, 2);
+  muts[0]->AddRoot(head);
+  muts[0]->WriteWord(head, 1, 11);
+  Gaddr tail = muts[0]->Alloc(b, 2);
+  muts[0]->WriteRef(head, 0, tail);
+  cluster.Pump();
+  for (NodeId id = 1; id < n; ++id) {
+    ASSERT_TRUE(muts[id]->AcquireRead(head)) << "node " << id;
+    muts[id]->Release(head);
+  }
+  cluster.Pump();
+  ASSERT_TRUE(muts[0]->AcquireWrite(head));
+  muts[0]->WriteRef(head, 0, kNullAddr);
+  muts[0]->Release(head);
+  cluster.Pump();
+  cluster.node(0).gc().CollectBunch(b);
+  cluster.Pump();
+  EXPECT_GE(cluster.node(0).gc().stats().objects_reclaimed, 1u);
+  // The head upgrade invalidated each replica once; the collection itself
+  // added nothing, and every reader still resolves and reads the head.
+  for (NodeId id = 1; id < n; ++id) {
+    EXPECT_EQ(cluster.node(id).dsm().stats().read_copies_invalidated, 1u) << "node " << id;
+    Gaddr cur = cluster.node(id).dsm().ResolveAddr(head);
+    ASSERT_TRUE(muts[id]->AcquireRead(cur)) << "node " << id;
+    EXPECT_EQ(muts[id]->ReadWord(cur, 1), 11u);
+    muts[id]->Release(cur);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scale, Fig4Scale, ::testing::Values(4, 8, 16),
+                         [](const ::testing::TestParamInfo<size_t>& info) {
+                           return "n" + std::to_string(info.param);
+                         });
 
 }  // namespace
 }  // namespace bmx

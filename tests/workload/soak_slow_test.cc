@@ -1,0 +1,64 @@
+// The `soak` ctest label: long-haul N=16 soak runs under all three oracles
+// (invariant, consistency, liveness), with and without the batched transport.
+// CI's scale-sweep job runs this label under ASan with a gray profile stacked
+// on top (see .github/workflows/ci.yml); the tier-1 smoke half lives in
+// soak_test.cc.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/runtime/explorer.h"
+#include "src/workload/soak.h"
+
+namespace bmx {
+namespace {
+
+ExplorationResult RunSoak(const SoakOptions& opts, uint64_t root_seed) {
+  ExplorerOptions eo;
+  eo.root_seed = root_seed;
+  eo.num_walks = 1;
+  eo.schedule = ScheduleKind::kFifo;
+  eo.oracle_stride = 128;
+  eo.check_consistency = true;
+  eo.check_liveness = true;
+  Explorer explorer(eo);
+  return explorer.Explore(SoakScenario(opts));
+}
+
+std::string FirstViolation(const ExplorationResult& r) {
+  return r.violations.empty() ? std::string() : r.violations[0];
+}
+
+TEST(SoakSlow, SixteenNodeSoakCleanUnbatched) {
+  SoakOptions opts;  // defaults: 16 nodes, random-regular, 4000 ops
+  ExplorationResult result = RunSoak(opts, 1);
+  EXPECT_FALSE(result.violation_found) << FirstViolation(result);
+}
+
+TEST(SoakSlow, SixteenNodeSoakCleanWithBatchedTransport) {
+  SoakOptions opts;
+  opts.batch.enabled = true;
+  ExplorationResult result = RunSoak(opts, 1);
+  EXPECT_FALSE(result.violation_found) << FirstViolation(result);
+}
+
+TEST(SoakSlow, SixteenNodeStarSoakClean) {
+  SoakOptions opts;
+  opts.topology = TopologyKind::kStar;
+  opts.ops = 2000;
+  ExplorationResult result = RunSoak(opts, 2);
+  EXPECT_FALSE(result.violation_found) << FirstViolation(result);
+}
+
+TEST(SoakSlow, ThirtyTwoNodeRingSoakClean) {
+  SoakOptions opts;
+  opts.num_nodes = 32;
+  opts.topology = TopologyKind::kRing;
+  opts.ops = 2000;
+  ExplorationResult result = RunSoak(opts, 3);
+  EXPECT_FALSE(result.violation_found) << FirstViolation(result);
+}
+
+}  // namespace
+}  // namespace bmx
